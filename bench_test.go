@@ -1,0 +1,238 @@
+// Benchmarks regenerating the paper's evaluation under `go test -bench`,
+// one benchmark family per table/figure (see DESIGN.md's experiment
+// index). They run on a 10%-scale Advogato stand-in so a default bench
+// run finishes in minutes; cmd/bench runs the full-scale experiment with
+// aligned tables.
+//
+//	BenchmarkFig2          — Figure 2: workload time per strategy and k
+//	BenchmarkFig2PerQuery  — Figure 2: per-query series at k=3
+//	BenchmarkDatalogComparison — Section 6: path index vs Datalog
+//	BenchmarkIndexBuild    — Ext-1: index construction per dataset and k
+//	BenchmarkAblation      — Ext-3: histogram/merge/dedup ablations
+//	BenchmarkBaselines     — Ext-4: star queries across approaches
+package pathdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/reachability"
+	"repro/internal/rpq"
+	"repro/internal/workload"
+)
+
+const benchScale = 0.1
+
+var benchState struct {
+	sync.Mutex
+	graph   *graph.Graph
+	engines map[string]*core.Engine
+}
+
+func benchGraph() *graph.Graph {
+	benchState.Lock()
+	defer benchState.Unlock()
+	if benchState.graph == nil {
+		benchState.graph = datasets.AdvogatoScaled(1, benchScale)
+	}
+	return benchState.graph
+}
+
+func benchEngine(b *testing.B, opts core.Options) *core.Engine {
+	b.Helper()
+	g := benchGraph()
+	key := fmt.Sprintf("%+v", opts)
+	benchState.Lock()
+	defer benchState.Unlock()
+	if benchState.engines == nil {
+		benchState.engines = map[string]*core.Engine{}
+	}
+	if e, ok := benchState.engines[key]; ok {
+		return e
+	}
+	e, err := core.NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchState.engines[key] = e
+	return e
+}
+
+// runWorkload evaluates the full eight-query workload once.
+func runWorkload(b *testing.B, e *core.Engine, s plan.Strategy) int {
+	b.Helper()
+	pairs := 0
+	for _, q := range workload.Advogato() {
+		res, err := e.Eval(q.Expr, s)
+		if err != nil {
+			b.Fatalf("%s under %v: %v", q.Name, s, err)
+		}
+		pairs += len(res.Pairs)
+	}
+	return pairs
+}
+
+// BenchmarkFig2 regenerates Figure 2's aggregate: the full workload per
+// strategy at each k. The paper's shape: naive slowest; minSupport and
+// minJoin fastest and similar; larger k faster.
+func BenchmarkFig2(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		e := benchEngine(b, core.Options{K: k, HistogramBuckets: 64})
+		for _, s := range plan.Strategies() {
+			b.Run(fmt.Sprintf("k=%d/strategy=%v", k, s), func(b *testing.B) {
+				total := 0
+				for i := 0; i < b.N; i++ {
+					total = runWorkload(b, e, s)
+				}
+				b.ReportMetric(float64(total), "pairs")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2PerQuery regenerates the per-query series of Figure 2 at
+// the largest k.
+func BenchmarkFig2PerQuery(b *testing.B) {
+	e := benchEngine(b, core.Options{K: 3, HistogramBuckets: 64})
+	for _, q := range workload.Advogato() {
+		for _, s := range plan.Strategies() {
+			b.Run(fmt.Sprintf("%s/strategy=%v", q.Name, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Eval(q.Expr, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDatalogComparison regenerates the Section 6 comparison: the
+// same workload through the path index, the semi-naive Datalog engine,
+// and the naive (SQL-view-style) Datalog evaluator.
+func BenchmarkDatalogComparison(b *testing.B) {
+	g := benchGraph()
+	e := benchEngine(b, core.Options{K: 3, HistogramBuckets: 64})
+	b.Run("pathIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runWorkload(b, e, plan.MinSupport)
+		}
+	})
+	b.Run("datalogSemiNaive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload.Advogato() {
+				if _, _, err := datalog.Eval(q.Expr, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("datalogSQLView", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload.Advogato() {
+				prog, err := datalog.Translate(q.Expr, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := prog.EvalNaive(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkIndexBuild regenerates Ext-1: k-path index construction cost
+// per dataset family and k.
+func BenchmarkIndexBuild(b *testing.B) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"advogato", benchGraph()},
+		{"erdos-renyi", datasets.ErdosRenyi(datasets.Config{
+			Nodes: 654, Edges: 5113, Labels: datasets.AdvogatoLabels, Seed: 1,
+		})},
+		{"grid", datasets.Grid(25, 25, "right", "down")},
+	}
+	for _, f := range families {
+		for _, k := range []int{1, 2, 3} {
+			b.Run(fmt.Sprintf("%s/k=%d", f.name, k), func(b *testing.B) {
+				var entries int
+				for i := 0; i < b.N; i++ {
+					ix, err := pathindex.Build(f.g, k, pathindex.BuildOptions{SkipPathsKCount: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					entries = ix.NumEntries()
+				}
+				b.ReportMetric(float64(entries), "entries")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation regenerates Ext-3: minSupport under histogram,
+// merge-join, and dedup ablations.
+func BenchmarkAblation(b *testing.B) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"exact-hist", core.Options{K: 3}},
+		{"buckets-64", core.Options{K: 3, HistogramBuckets: 64}},
+		{"buckets-1", core.Options{K: 3, HistogramBuckets: 1}},
+		{"hash-only", core.Options{K: 3, HashOnly: true}},
+		{"no-interm-dedup", core.Options{K: 3, NoIntermediateDedup: true}},
+	}
+	for _, v := range variants {
+		e := benchEngine(b, v.opts)
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWorkload(b, e, plan.MinSupport)
+			}
+		})
+	}
+}
+
+// BenchmarkBaselines regenerates Ext-4: a star query under each
+// evaluation approach (the reachability index answers only this shape).
+func BenchmarkBaselines(b *testing.B) {
+	g := benchGraph()
+	expr := rpq.MustParse("master*")
+	l, ok := g.LookupLabel("master")
+	if !ok {
+		b.Fatal("master label missing")
+	}
+	b.Run("reachIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix, err := reachability.Build(g, []graph.DirLabel{graph.Fwd(l)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.Pairs()
+		}
+	})
+	b.Run("automaton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := automaton.Eval(expr, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("datalog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := datalog.Eval(expr, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Command rpq is the interactive face of the reproduction: it loads an
+// edge-list graph, builds a k-path index, and evaluates or explains
+// regular path queries — the "life of a regular path query" walkthrough
+// of the paper's demonstration (Section 6).
+//
+// Usage:
+//
+//	rpq -graph FILE [-k 2] [-strategy minSupport] [-buckets 64] \
+//	    (-query RPQ | -explain RPQ | -stats)
+//
+// Examples:
+//
+//	rpq -graph social.txt -k 3 -query 'knows/(knows/worksFor){2,4}/worksFor'
+//	rpq -graph social.txt -k 3 -explain 'knows/knows/worksFor' -strategy semiNaive
+//	rpq -graph social.txt -k 2 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	pathdb "repro"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "edge-list file: one 'source label target' per line (required)")
+	k := flag.Int("k", 2, "path-index locality parameter")
+	strategyName := flag.String("strategy", "minSupport", "naive, semiNaive, minSupport, or minJoin")
+	buckets := flag.Int("buckets", 64, "equi-depth histogram buckets (0 = exact)")
+	query := flag.String("query", "", "RPQ to evaluate")
+	explain := flag.String("explain", "", "RPQ to explain (print the physical plan)")
+	stats := flag.Bool("stats", false, "print graph and index statistics")
+	limit := flag.Int("limit", 20, "maximum result pairs to print (0 = all)")
+	flag.Parse()
+
+	if err := run(*graphPath, *k, *strategyName, *buckets, *query, *explain, *stats, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "rpq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath string, k int, strategyName string, buckets int, query, explain string, stats bool, limit int) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	if query == "" && explain == "" && !stats {
+		return fmt.Errorf("one of -query, -explain, or -stats is required")
+	}
+	strategy, err := pathdb.ParseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	g, err := pathdb.LoadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	db, err := pathdb.Build(g, pathdb.Options{K: k, HistogramBuckets: buckets})
+	if err != nil {
+		return err
+	}
+
+	if stats {
+		st := db.IndexStats()
+		gs := g.ComputeStats()
+		fmt.Printf("graph: %d nodes, %d edges, %d labels (max out-degree %d, max in-degree %d)\n",
+			gs.Nodes, gs.Edges, gs.Labels, gs.MaxOutDeg, gs.MaxInDeg)
+		fmt.Printf("index: k=%d, %d entries over %d label paths, |paths_k| = %d, built in %.2f ms\n",
+			db.K(), st.Entries, st.LabelPaths, st.PathsKCount, st.BuildMillis)
+	}
+
+	if explain != "" {
+		out, err := db.Explain(explain, strategy)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+
+	if query != "" {
+		res, err := db.QueryWith(query, strategy)
+		if err != nil {
+			return err
+		}
+		names := res.Names
+		sort.Slice(names, func(i, j int) bool {
+			if names[i][0] != names[j][0] {
+				return names[i][0] < names[j][0]
+			}
+			return names[i][1] < names[j][1]
+		})
+		shown := len(names)
+		if limit > 0 && shown > limit {
+			shown = limit
+		}
+		for _, p := range names[:shown] {
+			fmt.Printf("%s -> %s\n", p[0], p[1])
+		}
+		if shown < len(names) {
+			fmt.Printf("... (%d more)\n", len(names)-shown)
+		}
+		fmt.Printf("%d pairs; %d disjuncts; rewrite %v, plan %v, exec %v\n",
+			len(res.Pairs), res.Stats.Disjuncts,
+			res.Stats.RewriteTime.Round(1000), res.Stats.PlanTime.Round(1000), res.Stats.ExecTime.Round(1000))
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package pathdb_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	pathdb "repro"
+)
+
+// The basic flow: build a graph, index it, query it.
+func Example() {
+	g := pathdb.NewGraph()
+	g.AddEdge("ada", "knows", "zoe")
+	g.AddEdge("zoe", "knows", "sam")
+	g.AddEdge("zoe", "worksFor", "ada")
+
+	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query("knows/worksFor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Names {
+		fmt.Printf("%s -> %s\n", p[0], p[1])
+	}
+	// Output:
+	// ada -> ada
+}
+
+// Bounded recursion and unions expand into unions of label paths before
+// planning.
+func ExampleDB_Query_boundedRecursion() {
+	g := pathdb.NewGraph()
+	g.AddEdge("a", "next", "b")
+	g.AddEdge("b", "next", "c")
+	g.AddEdge("c", "next", "d")
+
+	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query("next{2,3}")
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := res.Names
+	sort.Slice(names, func(i, j int) bool {
+		if names[i][0] != names[j][0] {
+			return names[i][0] < names[j][0]
+		}
+		return names[i][1] < names[j][1]
+	})
+	for _, p := range names {
+		fmt.Printf("%s -> %s\n", p[0], p[1])
+	}
+	// Output:
+	// a -> c
+	// a -> d
+	// b -> d
+}
+
+// QueryFrom answers single-source queries with prefix lookups instead of
+// materializing the whole relation.
+func ExampleDB_QueryFrom() {
+	g := pathdb.NewGraph()
+	g.AddEdge("root", "child", "left")
+	g.AddEdge("root", "child", "right")
+	g.AddEdge("left", "child", "leaf")
+
+	db, err := pathdb.Build(g, pathdb.Options{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets, err := db.QueryFrom("child{1,2}", "root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(targets)
+	// Output:
+	// [left right leaf]
+}
+
+// Explain renders the physical plan the strategy chose.
+func ExampleDB_Explain() {
+	g := pathdb.NewGraph()
+	g.AddEdge("x", "a", "y")
+	g.AddEdge("y", "b", "z")
+
+	db, err := pathdb.Build(g, pathdb.Options{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := db.Explain("a/b", pathdb.StrategySemiNaive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+	// Output:
+	// plan strategy=semiNaive k=1 est_card=0.3 est_cost=4.3
+	// └─ merge-join (est card 0.3, cost 4.3)
+	//    ├─ scan a [scan a^-, swap] (est 1.0)
+	//    └─ scan b (est 1.0)
+}

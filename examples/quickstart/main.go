@@ -1,0 +1,81 @@
+// Quickstart: build a small labeled graph, index it, and run regular
+// path queries — the one-minute tour of the pathdb public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	pathdb "repro"
+)
+
+func main() {
+	// A small workplace/social graph in the spirit of the paper's
+	// Figure 1: people know each other, work for each other, and one
+	// supervises.
+	g := pathdb.NewGraph()
+	edges := [][3]string{
+		{"ada", "knows", "zoe"},
+		{"zoe", "knows", "sam"},
+		{"zoe", "worksFor", "ada"},
+		{"sam", "worksFor", "tim"},
+		{"tim", "knows", "zoe"},
+		{"sue", "worksFor", "kim"},
+		{"kim", "supervisor", "kim"},
+		{"kim", "knows", "sue"},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1], e[2])
+	}
+
+	// Index all label paths up to length 2.
+	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.IndexStats()
+	fmt.Printf("indexed %d entries over %d label paths (k=%d)\n\n",
+		st.Entries, st.LabelPaths, db.K())
+
+	// A composition with an inverse step: who supervises someone that a
+	// person works for? (paper Section 2.2: supervisor ∘ worksFor⁻).
+	show(db, "supervisor/worksFor^-")
+
+	// Friend-of-a-friend.
+	show(db, "knows/knows")
+
+	// Bounded recursion: reachable within 1..3 knows steps.
+	show(db, "knows{1,3}")
+
+	// Union with inverse: anyone connected to ada by employment in
+	// either direction.
+	show(db, "worksFor|worksFor^-")
+
+	// Inspect a physical plan.
+	plan, err := db.Explain("knows/knows/worksFor", pathdb.StrategySemiNaive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan for knows/knows/worksFor (semiNaive):")
+	fmt.Println(plan)
+}
+
+func show(db *pathdb.DB, query string) {
+	res, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := res.Names
+	sort.Slice(names, func(i, j int) bool {
+		if names[i][0] != names[j][0] {
+			return names[i][0] < names[j][0]
+		}
+		return names[i][1] < names[j][1]
+	})
+	fmt.Printf("%s:\n", query)
+	for _, p := range names {
+		fmt.Printf("  %s -> %s\n", p[0], p[1])
+	}
+	fmt.Println()
+}

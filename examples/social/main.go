@@ -1,0 +1,71 @@
+// Social-network analytics over a synthetic Advogato-style trust graph:
+// runs the paper's eight-query workload under all four evaluation
+// strategies and reports times and result sizes — a miniature of the
+// Figure 2 experiment, driven entirely through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pathdb "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	// A 5% -scale Advogato stand-in keeps this example under a few
+	// seconds; cmd/bench runs the full-scale experiment.
+	g := datasets.AdvogatoScaled(1, 0.05)
+	fmt.Printf("trust network: %d nodes, %d edges, labels %v\n\n",
+		g.NumNodes(), g.NumEdges(), g.Labels())
+
+	db, err := pathdb.Build(g, pathdb.Options{K: 3, HistogramBuckets: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.IndexStats()
+	fmt.Printf("3-path index: %d entries, %d label paths, built in %.0f ms\n\n",
+		st.Entries, st.LabelPaths, st.BuildMillis)
+
+	queries := []struct{ name, text string }{
+		{"Q1 co-certification", "master/journeyer"},
+		{"Q2 chain of trust", "master/master/journeyer"},
+		{"Q3 deep chain", "journeyer/master/journeyer/apprentice/master/journeyer"},
+		{"Q4 either path", "master/journeyer|journeyer/apprentice/master"},
+		{"Q5 shared certifier", "master/journeyer^-/apprentice/master^-"},
+		{"Q6 trusted within 3", "(master|journeyer){1,3}"},
+		{"Q7 alternating trust", "master/(apprentice/master){2,3}/journeyer"},
+		{"Q8 mixed", "(master|journeyer^-)/apprentice{1,2}/(master/journeyer|apprentice)"},
+	}
+
+	fmt.Printf("%-22s", "query")
+	for _, s := range pathdb.Strategies() {
+		fmt.Printf("  %12v", s)
+	}
+	fmt.Printf("  %10s\n", "pairs")
+	for _, q := range queries {
+		fmt.Printf("%-22s", q.name)
+		var pairs int
+		for _, s := range pathdb.Strategies() {
+			t0 := time.Now()
+			res, err := db.QueryWith(q.text, s)
+			if err != nil {
+				log.Fatalf("%s under %v: %v", q.name, s, err)
+			}
+			pairs = len(res.Pairs)
+			fmt.Printf("  %10.2fms", float64(time.Since(t0).Microseconds())/1000)
+		}
+		fmt.Printf("  %10d\n", pairs)
+	}
+
+	// Selectivity inspection: the histogram behind minSupport's choices.
+	fmt.Println("\nselectivities (fraction of paths_k):")
+	for _, p := range []string{"master", "apprentice/master", "master/journeyer/master"} {
+		sel, err := db.Selectivity(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  sel(%s) = %.5f\n", p, sel)
+	}
+}

@@ -1,0 +1,210 @@
+// Package automaton implements automaton- and search-based RPQ evaluation
+// — approach (1) in the introduction of Fletcher, Peters & Poulovassilis
+// (EDBT 2016): the query is compiled to a nondeterministic finite
+// automaton (Thompson construction) and evaluated by breadth-first search
+// over the product of the automaton and the data graph.
+//
+// Besides serving as the baseline, this package is the correctness oracle
+// for the index-based engine: it shares no code with the rewriter, the
+// planner, or the executor, and it evaluates unbounded repetition natively
+// (no star bound needed).
+package automaton
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/rpq"
+)
+
+// NFA is a nondeterministic finite automaton over the direction-qualified
+// labels of one graph.
+type NFA struct {
+	g      *graph.Graph
+	start  int
+	accept int
+	// eps[s] lists ε-successors of state s.
+	eps [][]int
+	// steps[s] lists labeled transitions of state s. Transitions on
+	// labels absent from the graph are dropped at compile time (their
+	// relations are empty).
+	steps [][]transition
+}
+
+type transition struct {
+	label graph.DirLabel
+	to    int
+}
+
+// NumStates returns the number of automaton states.
+func (n *NFA) NumStates() int { return len(n.eps) }
+
+// Compile builds an NFA for e over g's vocabulary.
+func Compile(e rpq.Expr, g *graph.Graph) (*NFA, error) {
+	if err := rpq.Validate(e); err != nil {
+		return nil, err
+	}
+	n := &NFA{g: g}
+	n.start, n.accept = n.build(e)
+	return n, nil
+}
+
+func (n *NFA) newState() int {
+	n.eps = append(n.eps, nil)
+	n.steps = append(n.steps, nil)
+	return len(n.eps) - 1
+}
+
+func (n *NFA) epsEdge(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+// build returns the (start, accept) fragment for e, constructing fresh
+// states (Thompson construction).
+func (n *NFA) build(e rpq.Expr) (int, int) {
+	switch v := e.(type) {
+	case rpq.Epsilon:
+		s := n.newState()
+		a := n.newState()
+		n.epsEdge(s, a)
+		return s, a
+	case rpq.Step:
+		s := n.newState()
+		a := n.newState()
+		if l, ok := n.g.LookupLabel(v.Label); ok {
+			d := graph.Fwd(l)
+			if v.Inverse {
+				d = graph.Inv(l)
+			}
+			n.steps[s] = append(n.steps[s], transition{label: d, to: a})
+		}
+		return s, a
+	case rpq.Concat:
+		s, a := n.build(v.Parts[0])
+		for _, part := range v.Parts[1:] {
+			ps, pa := n.build(part)
+			n.epsEdge(a, ps)
+			a = pa
+		}
+		return s, a
+	case rpq.Union:
+		s := n.newState()
+		a := n.newState()
+		for _, alt := range v.Alts {
+			as, aa := n.build(alt)
+			n.epsEdge(s, as)
+			n.epsEdge(aa, a)
+		}
+		return s, a
+	case rpq.Repeat:
+		// Min mandatory copies, then either a Kleene loop (unbounded) or
+		// Max-Min optional copies.
+		s := n.newState()
+		cur := s
+		for i := 0; i < v.Min; i++ {
+			cs, ca := n.build(v.Sub)
+			n.epsEdge(cur, cs)
+			cur = ca
+		}
+		if v.Max == rpq.Unbounded {
+			loopS := n.newState()
+			a := n.newState()
+			n.epsEdge(cur, loopS)
+			n.epsEdge(loopS, a)
+			cs, ca := n.build(v.Sub)
+			n.epsEdge(loopS, cs)
+			n.epsEdge(ca, loopS)
+			return s, a
+		}
+		a := n.newState()
+		for i := v.Min; i < v.Max; i++ {
+			n.epsEdge(cur, a) // stopping here is allowed
+			cs, ca := n.build(v.Sub)
+			n.epsEdge(cur, cs)
+			cur = ca
+		}
+		n.epsEdge(cur, a)
+		return s, a
+	default:
+		// Validate rejects unknown types; unreachable.
+		s := n.newState()
+		a := n.newState()
+		return s, a
+	}
+}
+
+// Eval computes the full answer R(G) = {(s,t)} by running a product BFS
+// from every source node. Results are sorted by (src, dst).
+func (n *NFA) Eval() []pathindex.Pair {
+	var out []pathindex.Pair
+	numNodes := n.g.NumNodes()
+	numStates := n.NumStates()
+	visited := make([]bool, numStates*numNodes)
+	for src := 0; src < numNodes; src++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		for _, t := range n.evalFrom(graph.NodeID(src), visited) {
+			out = append(out, pathindex.Pair{Src: graph.NodeID(src), Dst: t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// EvalFrom returns the targets reachable from src, sorted ascending.
+func (n *NFA) EvalFrom(src graph.NodeID) []graph.NodeID {
+	visited := make([]bool, n.NumStates()*n.g.NumNodes())
+	ts := n.evalFrom(src, visited)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// evalFrom runs the product BFS. visited must have NumStates*NumNodes
+// entries, all false (the caller may reuse the buffer).
+func (n *NFA) evalFrom(src graph.NodeID, visited []bool) []graph.NodeID {
+	numNodes := n.g.NumNodes()
+	type conf struct {
+		state int
+		node  graph.NodeID
+	}
+	var targets []graph.NodeID
+	queue := []conf{{n.start, src}}
+	visited[n.start*numNodes+int(src)] = true
+	push := func(state int, node graph.NodeID) {
+		idx := state*numNodes + int(node)
+		if !visited[idx] {
+			visited[idx] = true
+			queue = append(queue, conf{state, node})
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if c.state == n.accept {
+			targets = append(targets, c.node)
+		}
+		for _, to := range n.eps[c.state] {
+			push(to, c.node)
+		}
+		for _, tr := range n.steps[c.state] {
+			for _, next := range n.g.Out(c.node, tr.label) {
+				push(tr.to, next)
+			}
+		}
+	}
+	return targets
+}
+
+// Eval is a convenience one-shot: compile and evaluate e over g.
+func Eval(e rpq.Expr, g *graph.Graph) ([]pathindex.Pair, error) {
+	n, err := Compile(e, g)
+	if err != nil {
+		return nil, err
+	}
+	return n.Eval(), nil
+}

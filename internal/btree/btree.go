@@ -1,0 +1,371 @@
+// Package btree implements an in-memory B+tree over fixed-width composite
+// keys ⟨pathID, sourceID, targetID⟩ — the ordered dictionary underlying the
+// k-path index of Fletcher, Peters & Poulovassilis (EDBT 2016), Section 3.1.
+//
+// The paper's prototype stores the index as a PostgreSQL table backed by a
+// B+tree; this package is the from-scratch substitute (in the spirit of the
+// companion work the paper cites as [14]). It supports insertion, sorted
+// bulk loading, point lookups, and ordered iteration from an arbitrary seek
+// position, which is all the path index needs: a prefix scan is a seek to
+// the smallest key with the prefix followed by iteration while the prefix
+// matches.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Key is the composite search key ⟨Path, Src, Dst⟩ with lexicographic
+// ordering, matching the paper's ⟨label path, sourceID, targetID⟩.
+type Key struct {
+	Path uint32
+	Src  uint32
+	Dst  uint32
+}
+
+// Compare returns -1, 0, or +1 according to the lexicographic order of k
+// and o.
+func (k Key) Compare(o Key) int {
+	switch {
+	case k.Path != o.Path:
+		if k.Path < o.Path {
+			return -1
+		}
+		return 1
+	case k.Src != o.Src:
+		if k.Src < o.Src {
+			return -1
+		}
+		return 1
+	case k.Dst != o.Dst:
+		if k.Dst < o.Dst {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether k orders strictly before o.
+func (k Key) Less(o Key) bool { return k.Compare(o) < 0 }
+
+func (k Key) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", k.Path, k.Src, k.Dst)
+}
+
+// degree is the maximum number of keys per node. Chosen so a leaf's key
+// array fills a few cache lines.
+const degree = 64
+
+type node struct {
+	// keys holds the node's keys. For a leaf these are the stored keys;
+	// for an internal node, keys[i] is the smallest key in the subtree
+	// children[i+1].
+	keys     []Key
+	children []*node // nil for leaves
+	next     *node   // leaf chain
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Tree is a B+tree. The zero value is an empty tree ready for use.
+type Tree struct {
+	root   *node
+	length int
+	height int
+	first  *node // leftmost leaf, head of leaf chain
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.length }
+
+// Height returns the number of levels (0 for an empty tree, 1 for a single
+// leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds key to the tree. It reports whether the key was inserted
+// (false if an equal key was already present).
+func (t *Tree) Insert(key Key) bool {
+	if t.root == nil {
+		t.root = &node{keys: []Key{key}}
+		t.first = t.root
+		t.length = 1
+		t.height = 1
+		return true
+	}
+	split, right, inserted := t.insert(t.root, key)
+	if inserted {
+		t.length++
+	}
+	if right != nil {
+		t.root = &node{keys: []Key{split}, children: []*node{t.root, right}}
+		t.height++
+	}
+	return inserted
+}
+
+// insert adds key under n. If n overflows it splits, returning the
+// separator key and the new right sibling.
+func (t *Tree) insert(n *node, key Key) (split Key, right *node, inserted bool) {
+	if n.isLeaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return !n.keys[i].Less(key) })
+		if i < len(n.keys) && n.keys[i] == key {
+			return Key{}, nil, false
+		}
+		n.keys = append(n.keys, Key{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		inserted = true
+	} else {
+		i := sort.Search(len(n.keys), func(i int) bool { return key.Less(n.keys[i]) })
+		var childSplit Key
+		var childRight *node
+		childSplit, childRight, inserted = t.insert(n.children[i], key)
+		if childRight != nil {
+			n.keys = append(n.keys, Key{})
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = childSplit
+			n.children = append(n.children, nil)
+			copy(n.children[i+2:], n.children[i+1:])
+			n.children[i+1] = childRight
+		}
+	}
+	if len(n.keys) <= degree {
+		return Key{}, nil, inserted
+	}
+	// Split n.
+	mid := len(n.keys) / 2
+	if n.isLeaf() {
+		r := &node{keys: append([]Key(nil), n.keys[mid:]...), next: n.next}
+		n.keys = n.keys[:mid:mid]
+		n.next = r
+		return r.keys[0], r, inserted
+	}
+	sep := n.keys[mid]
+	r := &node{
+		keys:     append([]Key(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, r, inserted
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key Key) bool {
+	n := t.root
+	if n == nil {
+		return false
+	}
+	for !n.isLeaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return key.Less(n.keys[i]) })
+		n = n.children[i]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return !n.keys[i].Less(key) })
+	return i < len(n.keys) && n.keys[i] == key
+}
+
+// BulkLoad builds a tree from keys, which must be sorted ascending and
+// free of duplicates. It runs in linear time and produces maximally packed
+// leaves, which is how the index build populates the dictionary after the
+// level-wise path enumeration has produced sorted runs.
+func BulkLoad(keys []Key) *Tree {
+	t := New()
+	if len(keys) == 0 {
+		return t
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keys[i-1].Less(keys[i]) {
+			panic(fmt.Sprintf("btree: BulkLoad input not strictly sorted at %d: %v >= %v", i, keys[i-1], keys[i]))
+		}
+	}
+	// Build leaf level.
+	var level []*node
+	for start := 0; start < len(keys); start += degree {
+		end := start + degree
+		if end > len(keys) {
+			end = len(keys)
+		}
+		leaf := &node{keys: append([]Key(nil), keys[start:end]...)}
+		if len(level) > 0 {
+			level[len(level)-1].next = leaf
+		}
+		level = append(level, leaf)
+	}
+	t.first = level[0]
+	t.length = len(keys)
+	t.height = 1
+	// Build internal levels until a single root remains.
+	for len(level) > 1 {
+		var parents []*node
+		for start := 0; start < len(level); start += degree + 1 {
+			end := start + degree + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			group := level[start:end]
+			p := &node{children: append([]*node(nil), group...)}
+			for _, c := range group[1:] {
+				p.keys = append(p.keys, smallestKey(c))
+			}
+			parents = append(parents, p)
+		}
+		// A trailing parent with a single child would violate the branching
+		// invariant. Rebalance by stealing the predecessor's last child
+		// (the predecessor is a full group, so it keeps >= 2 children);
+		// merging the orphan into the predecessor instead could overflow
+		// it.
+		if n := len(parents); n > 1 && len(parents[n-1].children) == 1 {
+			prev, last := parents[n-2], parents[n-1]
+			stolen := prev.children[len(prev.children)-1]
+			prev.children = prev.children[:len(prev.children)-1]
+			prev.keys = prev.keys[:len(prev.keys)-1]
+			last.children = []*node{stolen, last.children[0]}
+			last.keys = []Key{smallestKey(last.children[1])}
+		}
+		level = parents
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+func smallestKey(n *node) Key {
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// Iterator walks keys in ascending order. Use Tree.Seek or Tree.Min to
+// obtain one, then call Next until it returns false.
+type Iterator struct {
+	leaf *node
+	idx  int
+}
+
+// Next returns the current key and advances the iterator. It returns
+// ok=false when the iteration is exhausted.
+func (it *Iterator) Next() (Key, bool) {
+	for it.leaf != nil && it.idx >= len(it.leaf.keys) {
+		it.leaf = it.leaf.next
+		it.idx = 0
+	}
+	if it.leaf == nil {
+		return Key{}, false
+	}
+	k := it.leaf.keys[it.idx]
+	it.idx++
+	return k, true
+}
+
+// Min returns an iterator positioned at the smallest key.
+func (t *Tree) Min() *Iterator { return &Iterator{leaf: t.first} }
+
+// Seek returns an iterator positioned at the smallest key ≥ key.
+func (t *Tree) Seek(key Key) *Iterator {
+	n := t.root
+	if n == nil {
+		return &Iterator{}
+	}
+	for !n.isLeaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return key.Less(n.keys[i]) })
+		n = n.children[i]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return !n.keys[i].Less(key) })
+	return &Iterator{leaf: n, idx: i}
+}
+
+// CheckInvariants verifies structural invariants (key ordering inside
+// nodes, separator correctness, leaf chain completeness, balanced height)
+// and returns an error describing the first violation. It exists for tests.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.length != 0 || t.height != 0 || t.first != nil {
+			return fmt.Errorf("btree: empty tree with nonzero metadata")
+		}
+		return nil
+	}
+	count := 0
+	depths := map[int]bool{}
+	var walk func(n *node, depth int, lo, hi *Key) error
+	walk = func(n *node, depth int, lo, hi *Key) error {
+		if len(n.keys) > degree {
+			return fmt.Errorf("btree: node overflow: %d keys", len(n.keys))
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if !n.keys[i-1].Less(n.keys[i]) {
+				return fmt.Errorf("btree: keys out of order in node: %v >= %v", n.keys[i-1], n.keys[i])
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k.Less(*lo) {
+				return fmt.Errorf("btree: key %v below lower bound %v", k, *lo)
+			}
+			if hi != nil && !k.Less(*hi) {
+				return fmt.Errorf("btree: key %v not below upper bound %v", k, *hi)
+			}
+		}
+		if n.isLeaf() {
+			depths[depth] = true
+			count += len(n.keys)
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: internal node with %d keys, %d children", len(n.keys), len(n.children))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = &n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = &n.keys[i]
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+			if i > 0 && smallestKey(c) != n.keys[i-1] {
+				return fmt.Errorf("btree: separator %v != smallest key %v of child %d", n.keys[i-1], smallestKey(c), i)
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if len(depths) != 1 {
+		return fmt.Errorf("btree: leaves at multiple depths: %v", depths)
+	}
+	for d := range depths {
+		if d != t.height {
+			return fmt.Errorf("btree: recorded height %d, leaf depth %d", t.height, d)
+		}
+	}
+	if count != t.length {
+		return fmt.Errorf("btree: recorded length %d, found %d keys", t.length, count)
+	}
+	// Leaf chain must enumerate exactly the stored keys in order.
+	chain := 0
+	var prev *Key
+	for it := t.Min(); ; {
+		k, ok := it.Next()
+		if !ok {
+			break
+		}
+		if prev != nil && !prev.Less(k) {
+			return fmt.Errorf("btree: leaf chain out of order: %v >= %v", *prev, k)
+		}
+		p := k
+		prev = &p
+		chain++
+	}
+	if chain != t.length {
+		return fmt.Errorf("btree: leaf chain has %d keys, length is %d", chain, t.length)
+	}
+	return nil
+}

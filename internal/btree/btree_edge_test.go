@@ -1,0 +1,95 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHeightGrowth(t *testing.T) {
+	tr := New()
+	if tr.Height() != 0 {
+		t.Fatal("empty tree height != 0")
+	}
+	// Filling one leaf keeps height 1; overflowing it splits to 2.
+	for i := 0; i <= degree; i++ {
+		tr.Insert(Key{0, 0, uint32(i)})
+	}
+	if tr.Height() != 2 {
+		t.Errorf("height after first split = %d, want 2", tr.Height())
+	}
+	// A bulk-loaded tree of the same keys is at most as tall.
+	keys := make([]Key, degree+1)
+	for i := range keys {
+		keys[i] = Key{0, 0, uint32(i)}
+	}
+	bl := BulkLoad(keys)
+	if bl.Height() > tr.Height() {
+		t.Errorf("bulk height %d > insert height %d", bl.Height(), tr.Height())
+	}
+}
+
+func TestIteratorAcrossLeafBoundaries(t *testing.T) {
+	// Seek into the middle of one leaf and iterate across several.
+	n := degree * 5
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{0, uint32(i), 0}
+	}
+	tr := BulkLoad(keys)
+	start := degree + degree/2
+	it := tr.Seek(Key{0, uint32(start), 0})
+	for want := start; want < n; want++ {
+		k, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator ended at %d, want %d keys", want, n)
+		}
+		if k.Src != uint32(want) {
+			t.Fatalf("iterator[%d].Src = %d", want, k.Src)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("iterator went past the last key")
+	}
+}
+
+func TestInterleavedInsertAndSeek(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tr := New()
+	inserted := map[Key]bool{}
+	for round := 0; round < 2000; round++ {
+		k := Key{uint32(r.Intn(4)), uint32(r.Intn(64)), uint32(r.Intn(64))}
+		tr.Insert(k)
+		inserted[k] = true
+		if round%100 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		// A seek at the inserted key must find it first.
+		got, ok := tr.Seek(k).Next()
+		if !ok || got != k {
+			t.Fatalf("Seek(%v) after insert = %v, %v", k, got, ok)
+		}
+	}
+	if tr.Len() != len(inserted) {
+		t.Errorf("Len = %d, want %d", tr.Len(), len(inserted))
+	}
+}
+
+func TestBulkLoadSingleKeyAndTrailingParent(t *testing.T) {
+	// A size that leaves a trailing single-child parent group exercises
+	// the orphan-merge path in BulkLoad's level construction.
+	for _, n := range []int{1, degree*(degree+1) + 1, degree * (degree + 2)} {
+		keys := make([]Key, n)
+		for i := range keys {
+			keys[i] = Key{uint32(i >> 16), uint32(i >> 8 & 0xff), uint32(i & 0xff)}
+		}
+		tr := BulkLoad(keys)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Errorf("n=%d: Len=%d", n, tr.Len())
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyCompare(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want int
+	}{
+		{Key{1, 2, 3}, Key{1, 2, 3}, 0},
+		{Key{1, 2, 3}, Key{2, 0, 0}, -1},
+		{Key{2, 0, 0}, Key{1, 9, 9}, 1},
+		{Key{1, 2, 3}, Key{1, 3, 0}, -1},
+		{Key{1, 2, 3}, Key{1, 2, 4}, -1},
+		{Key{1, 2, 4}, Key{1, 2, 3}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Less(c.b); got != (c.want < 0) {
+			t.Errorf("Less(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Errorf("empty tree: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Min().Next(); ok {
+		t.Error("empty tree Min iterator yielded a key")
+	}
+	if _, ok := tr.Seek(Key{1, 1, 1}).Next(); ok {
+		t.Error("empty tree Seek iterator yielded a key")
+	}
+	if tr.Contains(Key{}) {
+		t.Error("empty tree Contains true")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertAndContains(t *testing.T) {
+	tr := New()
+	keys := []Key{{3, 1, 1}, {1, 1, 1}, {2, 5, 0}, {1, 0, 9}, {2, 5, 1}}
+	for _, k := range keys {
+		if !tr.Insert(k) {
+			t.Errorf("Insert(%v) = false on first insert", k)
+		}
+	}
+	for _, k := range keys {
+		if tr.Insert(k) {
+			t.Errorf("Insert(%v) = true on duplicate", k)
+		}
+		if !tr.Contains(k) {
+			t.Errorf("Contains(%v) = false", k)
+		}
+	}
+	if tr.Contains(Key{9, 9, 9}) {
+		t.Error("Contains(absent) = true")
+	}
+	if tr.Len() != len(keys) {
+		t.Errorf("Len=%d, want %d", tr.Len(), len(keys))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertManyAscending(t *testing.T)  { testInsertMany(t, genAscending(10_000)) }
+func TestInsertManyDescending(t *testing.T) { testInsertMany(t, genDescending(10_000)) }
+func TestInsertManyRandom(t *testing.T)     { testInsertMany(t, genRandom(10_000, 1)) }
+
+func testInsertMany(t *testing.T, keys []Key) {
+	t.Helper()
+	tr := New()
+	set := map[Key]bool{}
+	for _, k := range keys {
+		want := !set[k]
+		if got := tr.Insert(k); got != want {
+			t.Fatalf("Insert(%v) = %v, want %v", k, got, want)
+		}
+		set[k] = true
+	}
+	if tr.Len() != len(set) {
+		t.Fatalf("Len=%d, want %d", tr.Len(), len(set))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	assertIterationMatches(t, tr, set)
+}
+
+func assertIterationMatches(t *testing.T, tr *Tree, set map[Key]bool) {
+	t.Helper()
+	want := make([]Key, 0, len(set))
+	for k := range set {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+	i := 0
+	for it := tr.Min(); ; {
+		k, ok := it.Next()
+		if !ok {
+			break
+		}
+		if i >= len(want) {
+			t.Fatalf("iteration yielded more than %d keys", len(want))
+		}
+		if k != want[i] {
+			t.Fatalf("iteration[%d] = %v, want %v", i, k, want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("iteration yielded %d keys, want %d", i, len(want))
+	}
+}
+
+func TestSeekSemantics(t *testing.T) {
+	tr := New()
+	// Keys 0,10,20,...,990 in Dst.
+	for i := uint32(0); i < 100; i++ {
+		tr.Insert(Key{1, 0, i * 10})
+	}
+	for _, c := range []struct {
+		seek uint32
+		want uint32
+		ok   bool
+	}{
+		{0, 0, true}, {1, 10, true}, {10, 10, true}, {995, 0, false}, {990, 990, true},
+	} {
+		k, ok := tr.Seek(Key{1, 0, c.seek}).Next()
+		if ok != c.ok || (ok && k.Dst != c.want) {
+			t.Errorf("Seek(%d): got %v,%v; want %d,%v", c.seek, k, ok, c.want, c.ok)
+		}
+	}
+	// Seeking before all keys and after all keys.
+	if k, ok := tr.Seek(Key{0, 0, 0}).Next(); !ok || k != (Key{1, 0, 0}) {
+		t.Errorf("Seek(min): %v %v", k, ok)
+	}
+	if _, ok := tr.Seek(Key{2, 0, 0}).Next(); ok {
+		t.Error("Seek past end returned a key")
+	}
+}
+
+func TestSeekScanRange(t *testing.T) {
+	tr := New()
+	for p := uint32(0); p < 5; p++ {
+		for s := uint32(0); s < 50; s++ {
+			tr.Insert(Key{p, s, s + p})
+		}
+	}
+	// Scan exactly the keys with Path == 3.
+	it := tr.Seek(Key{3, 0, 0})
+	n := 0
+	for {
+		k, ok := it.Next()
+		if !ok || k.Path != 3 {
+			break
+		}
+		if k.Src != uint32(n) {
+			t.Fatalf("prefix scan out of order: %v at position %d", k, n)
+		}
+		n++
+	}
+	if n != 50 {
+		t.Errorf("prefix scan found %d keys, want 50", n)
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	for _, n := range []int{0, 1, degree, degree + 1, degree * degree, 5000} {
+		keys := genAscending(n)
+		bl := BulkLoad(keys)
+		if bl.Len() != n {
+			t.Fatalf("n=%d: BulkLoad Len=%d", n, bl.Len())
+		}
+		if err := bl.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		set := map[Key]bool{}
+		for _, k := range keys {
+			set[k] = true
+		}
+		assertIterationMatches(t, bl, set)
+		for _, k := range keys {
+			if !bl.Contains(k) {
+				t.Fatalf("n=%d: BulkLoad tree missing %v", n, k)
+			}
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BulkLoad of unsorted input did not panic")
+		}
+	}()
+	BulkLoad([]Key{{2, 0, 0}, {1, 0, 0}})
+}
+
+func TestBulkLoadRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BulkLoad of duplicate input did not panic")
+		}
+	}()
+	BulkLoad([]Key{{1, 0, 0}, {1, 0, 0}})
+}
+
+func TestInsertIntoBulkLoaded(t *testing.T) {
+	keys := genAscending(1000)
+	tr := BulkLoad(keys)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		tr.Insert(Key{uint32(r.Intn(50)), uint32(r.Intn(100)), uint32(r.Intn(100))})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickModelEquivalence drives the tree against a map-based model with
+// random operations, checking Contains, Len, and full ordered iteration.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint32) bool {
+		tr := New()
+		model := map[Key]bool{}
+		for _, op := range ops {
+			k := Key{op % 7, (op >> 3) % 11, (op >> 7) % 13}
+			ins := tr.Insert(k)
+			if ins == model[k] {
+				return false // inserted iff not already in model
+			}
+			model[k] = true
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		var got []Key
+		for it := tr.Min(); ; {
+			k, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, k)
+		}
+		if len(got) != len(model) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if !got[i-1].Less(got[i]) {
+				return false
+			}
+		}
+		for _, k := range got {
+			if !model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSeek checks that Seek lands on the smallest key >= target, by
+// comparing against a sorted-slice reference.
+func TestQuickSeek(t *testing.T) {
+	f := func(seed int64, targets []uint32) bool {
+		keys := genRandom(300, seed)
+		set := map[Key]bool{}
+		tr := New()
+		for _, k := range keys {
+			tr.Insert(k)
+			set[k] = true
+		}
+		sorted := make([]Key, 0, len(set))
+		for k := range set {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		for _, raw := range targets {
+			target := Key{raw % 6, (raw >> 2) % 40, (raw >> 5) % 40}
+			i := sort.Search(len(sorted), func(i int) bool { return !sorted[i].Less(target) })
+			got, ok := tr.Seek(target).Next()
+			if i == len(sorted) {
+				if ok {
+					return false
+				}
+			} else if !ok || got != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genAscending(n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{uint32(i / 10000), uint32(i / 100 % 100), uint32(i % 100)}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}
+
+func genDescending(n int) []Key {
+	keys := genAscending(n)
+	for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}
+
+func genRandom(n int, seed int64) []Key {
+	r := rand.New(rand.NewSource(seed))
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{uint32(r.Intn(6)), uint32(r.Intn(40)), uint32(r.Intn(40))}
+	}
+	return keys
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	keys := genRandom(b.N, 42)
+	b.ResetTimer()
+	tr := New()
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	keys := genAscending(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(keys)
+	}
+}
+
+func BenchmarkSeekScan(b *testing.B) {
+	tr := BulkLoad(genAscending(100_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.Seek(Key{5, 0, 0})
+		for {
+			k, ok := it.Next()
+			if !ok || k.Path != 5 {
+				break
+			}
+		}
+	}
+}

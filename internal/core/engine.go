@@ -1,0 +1,269 @@
+// Package core implements the paper's primary contribution end to end:
+// the RPQ evaluation engine of Fletcher, Peters & Poulovassilis
+// (EDBT 2016) that compiles regular path queries into physical plans over
+// a k-path index and executes them.
+//
+// An Engine owns a frozen graph, its k-path index I_{G,k}, and the
+// selectivity histogram sel_{G,k}. Query processing follows Section 4 of
+// the paper: (1) expand bounded recursion, (2) pull unions to the top
+// level, (3) generate a physical plan per disjunct under one of the four
+// strategies (naive, semiNaive, minSupport, minJoin), then execute the
+// operator tree and deduplicate the union of the disjunct results.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/histogram"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/rewrite"
+	"repro/internal/rpq"
+)
+
+// Options configures engine construction.
+type Options struct {
+	// K is the path-index locality parameter (maximum indexed path
+	// length). Must be at least 1.
+	K int
+	// HistogramBuckets sets the equi-depth histogram resolution; 0 uses
+	// exact per-path statistics.
+	HistogramBuckets int
+	// StarBound bounds unbounded repetitions (R*, R+, R{i,}) during
+	// rewriting; 0 uses the node count, the paper's n(G) observation.
+	StarBound int
+	// MaxDisjuncts and MaxPathLength bound query expansion; 0 uses the
+	// rewrite package defaults.
+	MaxDisjuncts  int
+	MaxPathLength int
+	// MaxIndexEntries aborts index construction beyond this size; 0
+	// means unlimited.
+	MaxIndexEntries int
+	// HashOnly disables merge joins (ablation).
+	HashOnly bool
+	// NoIntermediateDedup disables the per-join Distinct operators
+	// (ablation). Answers are sets of pairs, so joins deduplicate by
+	// default: without it, duplicate witnesses multiply through hub
+	// nodes and intermediate streams grow combinatorially.
+	NoIntermediateDedup bool
+	// NoDerivedInverses recomputes inverse path relations instead of
+	// deriving them (ablation).
+	NoDerivedInverses bool
+}
+
+// Engine evaluates RPQs over one indexed graph.
+type Engine struct {
+	g    *graph.Graph
+	ix   *pathindex.Index
+	hist *histogram.Histogram
+	opts Options
+}
+
+// NewEngine builds the k-path index and histogram for g and returns an
+// engine. g must be frozen.
+func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: Options.K must be at least 1, got %d", opts.K)
+	}
+	if opts.HistogramBuckets < 0 {
+		return nil, fmt.Errorf("core: Options.HistogramBuckets must be non-negative, got %d", opts.HistogramBuckets)
+	}
+	ix, err := pathindex.Build(g, opts.K, pathindex.BuildOptions{
+		MaxEntries:        opts.MaxIndexEntries,
+		NoDerivedInverses: opts.NoDerivedInverses,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building path index: %w", err)
+	}
+	return NewEngineFromIndex(ix, opts)
+}
+
+// NewEngineFromIndex wraps an existing index (for example one
+// deserialized with pathindex.Load) in an engine, rebuilding only the
+// histogram. Options.K must match the index.
+func NewEngineFromIndex(ix *pathindex.Index, opts Options) (*Engine, error) {
+	if opts.K == 0 {
+		opts.K = ix.K()
+	}
+	if opts.K != ix.K() {
+		return nil, fmt.Errorf("core: Options.K=%d does not match index k=%d", opts.K, ix.K())
+	}
+	if opts.HistogramBuckets < 0 {
+		return nil, fmt.Errorf("core: Options.HistogramBuckets must be non-negative, got %d", opts.HistogramBuckets)
+	}
+	var hist *histogram.Histogram
+	if opts.HistogramBuckets > 0 {
+		h, err := histogram.BuildEquiDepth(ix, opts.HistogramBuckets)
+		if err != nil {
+			return nil, fmt.Errorf("core: building histogram: %w", err)
+		}
+		hist = h
+	} else {
+		hist = histogram.BuildExact(ix)
+	}
+	return &Engine{g: ix.Graph(), ix: ix, hist: hist, opts: opts}, nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Index returns the engine's path index.
+func (e *Engine) Index() *pathindex.Index { return e.ix }
+
+// Histogram returns the engine's selectivity statistics.
+func (e *Engine) Histogram() *histogram.Histogram { return e.hist }
+
+// K returns the index locality parameter.
+func (e *Engine) K() int { return e.opts.K }
+
+// Stats describes one query evaluation.
+type Stats struct {
+	Disjuncts       int           // label-path disjuncts after rewriting
+	DroppedEmpty    int           // disjuncts dropped (labels absent from the graph)
+	HasEpsilon      bool          // identity disjunct present
+	PlanCost        float64       // estimated plan cost
+	PlanCard        float64       // estimated result cardinality
+	RewriteTime     time.Duration //
+	PlanTime        time.Duration //
+	ExecTime        time.Duration //
+	ResultPairs     int           // actual result cardinality
+	OperatorRows    map[string]int
+	TotalIntermRows int // summed rows over all operators
+}
+
+// Result is a query answer: the set R(G) sorted in stream order
+// (deduplicated, not globally sorted), plus evaluation statistics.
+type Result struct {
+	Pairs []pathindex.Pair
+	Stats Stats
+}
+
+// Prepared is a compiled query: rewritten, resolved, and planned, ready
+// for (repeated) execution. Benchmarks use it to separate planning from
+// execution cost.
+type Prepared struct {
+	engine   *Engine
+	plan     *plan.Plan
+	stats    Stats
+	strategy plan.Strategy
+}
+
+// Compile parses nothing (the expression is already an AST) but performs
+// rewriting, label resolution, and planning under the given strategy.
+func (e *Engine) Compile(expr rpq.Expr, strategy plan.Strategy) (*Prepared, error) {
+	var st Stats
+	t0 := time.Now()
+	starBound := e.opts.StarBound
+	if starBound == 0 {
+		starBound = e.g.NumNodes()
+	}
+	norm, err := rewrite.Normalize(expr, rewrite.Options{
+		StarBound:     starBound,
+		MaxDisjuncts:  e.opts.MaxDisjuncts,
+		MaxPathLength: e.opts.MaxPathLength,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: rewriting query: %w", err)
+	}
+	st.RewriteTime = time.Since(t0)
+	st.HasEpsilon = norm.HasEpsilon
+
+	// Resolve disjuncts against the graph vocabulary; paths mentioning
+	// unknown labels have empty relations and are dropped.
+	t1 := time.Now()
+	var disjuncts []pathindex.Path
+	for _, p := range norm.Paths {
+		rp, ok := pathindex.Resolve(e.g, p)
+		if !ok {
+			st.DroppedEmpty++
+			continue
+		}
+		disjuncts = append(disjuncts, rp)
+	}
+	st.Disjuncts = len(disjuncts)
+
+	planner := &plan.Planner{
+		K:        e.opts.K,
+		Hist:     e.hist,
+		NumNodes: e.g.NumNodes(),
+		HashOnly: e.opts.HashOnly,
+	}
+	pln, err := planner.PlanPaths(disjuncts, norm.HasEpsilon, strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning query: %w", err)
+	}
+	st.PlanTime = time.Since(t1)
+	st.PlanCost = pln.Cost()
+	st.PlanCard = pln.Card()
+	return &Prepared{engine: e, plan: pln, stats: st, strategy: strategy}, nil
+}
+
+// Plan returns the physical plan.
+func (p *Prepared) Plan() *plan.Plan { return p.plan }
+
+// Explain renders the physical plan as text.
+func (p *Prepared) Explain() string { return p.plan.Format(p.engine.g) }
+
+// Execute runs the prepared plan and returns the result set with
+// statistics. Each call builds a fresh operator tree, so Execute may be
+// called repeatedly (e.g. by benchmarks).
+func (p *Prepared) Execute() (*Result, error) {
+	t0 := time.Now()
+	op, err := exec.Build(p.plan, p.engine.ix, exec.BuildOptions{
+		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building operators: %w", err)
+	}
+	pairs := exec.Run(op)
+	st := p.stats
+	st.ExecTime = time.Since(t0)
+	st.ResultPairs = len(pairs)
+	es := exec.CollectStats(op)
+	st.OperatorRows = es.RowsByOperator
+	st.TotalIntermRows = es.TotalRows
+	return &Result{Pairs: pairs, Stats: st}, nil
+}
+
+// Eval compiles and executes expr under the given strategy.
+func (e *Engine) Eval(expr rpq.Expr, strategy plan.Strategy) (*Result, error) {
+	prep, err := e.Compile(expr, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Execute()
+}
+
+// EvalQuery parses, compiles, and executes a textual query.
+func (e *Engine) EvalQuery(query string, strategy plan.Strategy) (*Result, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(expr, strategy)
+}
+
+// Explain parses and compiles a textual query and renders its plan.
+func (e *Engine) Explain(query string, strategy plan.Strategy) (string, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	prep, err := e.Compile(expr, strategy)
+	if err != nil {
+		return "", err
+	}
+	return prep.Explain(), nil
+}
+
+// NamedPairs converts result pairs to node-name tuples, for display.
+func (e *Engine) NamedPairs(pairs []pathindex.Pair) [][2]string {
+	out := make([][2]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]string{e.g.NodeName(p.Src), e.g.NodeName(p.Dst)}
+	}
+	return out
+}

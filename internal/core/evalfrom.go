@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/rewrite"
+	"repro/internal/rpq"
+)
+
+// EvalFrom computes the single-source answer {t | (src, t) ∈ R(G)}
+// without materializing the full pair relation: each disjunct is
+// evaluated by sideways information passing over the index's
+// ⟨path, source⟩ prefix lookups (the I_{G,k}(⟨p, a⟩) operation of the
+// paper's Example 3.1), expanding a frontier of nodes one length-≤k
+// segment at a time.
+//
+// Targets are returned sorted ascending.
+func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, error) {
+	if int(src) >= e.g.NumNodes() {
+		return nil, fmt.Errorf("core: source node %d out of range", src)
+	}
+	starBound := e.opts.StarBound
+	if starBound == 0 {
+		starBound = e.g.NumNodes()
+	}
+	norm, err := rewrite.Normalize(expr, rewrite.Options{
+		StarBound:     starBound,
+		MaxDisjuncts:  e.opts.MaxDisjuncts,
+		MaxPathLength: e.opts.MaxPathLength,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: rewriting query: %w", err)
+	}
+	result := map[graph.NodeID]bool{}
+	if norm.HasEpsilon {
+		result[src] = true
+	}
+	for _, p := range norm.Paths {
+		rp, ok := pathindex.Resolve(e.g, p)
+		if !ok {
+			continue
+		}
+		for _, t := range e.evalDisjunctFrom(rp, src) {
+			result[t] = true
+		}
+	}
+	out := make([]graph.NodeID, 0, len(result))
+	for t := range result {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// evalDisjunctFrom expands src through the disjunct's greedy length-k
+// segments, deduplicating the frontier between segments.
+func (e *Engine) evalDisjunctFrom(d pathindex.Path, src graph.NodeID) []graph.NodeID {
+	frontier := []graph.NodeID{src}
+	for start := 0; start < len(d); start += e.opts.K {
+		end := start + e.opts.K
+		if end > len(d) {
+			end = len(d)
+		}
+		seg := d[start:end]
+		next := map[graph.NodeID]bool{}
+		for _, n := range frontier {
+			it := e.ix.ScanFrom(seg, n)
+			for {
+				pr, ok := it.Next()
+				if !ok {
+					break
+				}
+				next[pr.Dst] = true
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = frontier[:0]
+		for t := range next {
+			frontier = append(frontier, t)
+		}
+	}
+	return frontier
+}
+
+// EvalQueryFrom parses query and computes its single-source answer from
+// the named node.
+func (e *Engine) EvalQueryFrom(query, srcName string) ([]string, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := e.g.LookupNode(srcName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", srcName)
+	}
+	targets, err := e.EvalFrom(expr, src)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = e.g.NodeName(t)
+	}
+	return names, nil
+}

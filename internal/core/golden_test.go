@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// goldenResult renders a result as a canonical "a->b;c->d" string.
+func goldenResult(e *Engine, r *Result) string {
+	pairs := e.NamedPairs(r.Pairs)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = fmt.Sprintf("%s->%s", p[0], p[1])
+	}
+	return strings.Join(parts, ";")
+}
+
+// TestGexGoldenResults pins the exact answers of representative queries
+// on the reconstructed Figure-1 graph. These values were cross-checked
+// against the automaton oracle once and now guard against regressions in
+// any layer (rewriter, planner, executor, index).
+func TestGexGoldenResults(t *testing.T) {
+	g := graph.ExampleGraph()
+	e := newTestEngine(t, g, 3)
+	golden := map[string]string{
+		"supervisor":            "kim->kim",
+		"supervisor/worksFor^-": "kim->sue",
+		"knows/knows/worksFor":  "ada->tim;jan->ada;jan->jan;jan->kim;joe->ada;joe->jan;kim->joe;liz->ada;tim->kim;tim->tim",
+		"worksFor/worksFor":     "sam->jan",
+		"knows{2}":              "ada->sam;jan->joe;jan->sue;jan->tim;jan->zoe;joe->tim;joe->zoe;kim->ada;kim->liz;liz->kim;liz->zoe;tim->sam;tim->joe;tim->sue",
+		"supervisor{1,5}":       "kim->kim",
+		"worksFor|worksFor^-":   "ada->zoe;jan->tim;joe->liz;kim->sue;liz->joe;sam->tim;sue->kim;tim->jan;tim->sam;zoe->ada",
+	}
+	for query, want := range golden {
+		for _, s := range plan.Strategies() {
+			r, err := e.EvalQuery(query, s)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", query, s, err)
+			}
+			got := goldenResult(e, r)
+			// Normalize: the golden strings are sorted already.
+			wantSorted := strings.Split(want, ";")
+			sort.Strings(wantSorted)
+			if got != strings.Join(wantSorted, ";") {
+				t.Errorf("%s under %v:\n got %s\nwant %s", query, s, got, strings.Join(wantSorted, ";"))
+			}
+		}
+	}
+}
+
+// TestGexKkwFullRelation pins the full knows/knows/worksFor relation
+// that our reconstruction yields, documenting exactly how it relates to
+// the paper's Example 3.1 list (see EXPERIMENTS.md): the jan, ada, and
+// kim rows match the paper; joe and tim rows are partial; liz has one
+// extra pair.
+func TestGexKkwFullRelation(t *testing.T) {
+	g := graph.ExampleGraph()
+	e := newTestEngine(t, g, 3)
+	r, err := e.EvalQuery("knows/knows/worksFor", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, p := range e.NamedPairs(r.Pairs) {
+		rows[p[0]] = append(rows[p[0]], p[1])
+	}
+	for src := range rows {
+		sort.Strings(rows[src])
+	}
+	check := func(src string, want ...string) {
+		t.Helper()
+		if strings.Join(rows[src], ",") != strings.Join(want, ",") {
+			t.Errorf("row %s = %v, want %v", src, rows[src], want)
+		}
+	}
+	// Paper-exact rows.
+	check("jan", "ada", "jan", "kim")
+	check("ada", "tim")
+	check("kim", "joe")
+	// Reconstruction-specific rows (paper lists more/fewer pairs; the
+	// figure is not fully recoverable from the text).
+	check("joe", "ada", "jan")
+	check("tim", "kim", "tim")
+	check("liz", "ada")
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+)
+
+// ExecuteParallel runs the prepared plan with the disjuncts evaluated
+// concurrently by up to `workers` goroutines, merging and deduplicating
+// their outputs. Results equal Execute's (up to order); the index and
+// histogram are immutable after construction, so concurrent scans are
+// safe. Statistics cover the merged run but omit per-operator rows.
+func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
+	if workers < 2 || len(p.plan.Disjuncts) < 2 {
+		return p.Execute()
+	}
+	buildOpts := exec.BuildOptions{PerJoinDedup: !p.engine.opts.NoIntermediateDedup}
+
+	type chunk struct {
+		pairs []pathindex.Pair
+		err   error
+	}
+	jobs := make(chan plan.Node)
+	results := make(chan chunk)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range jobs {
+				sub := &plan.Plan{
+					Strategy:  p.plan.Strategy,
+					K:         p.plan.K,
+					Disjuncts: []plan.Node{d},
+				}
+				op, err := exec.Build(sub, p.engine.ix, buildOpts)
+				if err != nil {
+					results <- chunk{err: fmt.Errorf("core: building operators: %w", err)}
+					continue
+				}
+				results <- chunk{pairs: exec.Run(op)}
+			}
+		}()
+	}
+	go func() {
+		for _, d := range p.plan.Disjuncts {
+			jobs <- d
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	seen := map[pathindex.Pair]struct{}{}
+	var out []pathindex.Pair
+	if p.plan.HasEpsilon {
+		for n := 0; n < p.engine.g.NumNodes(); n++ {
+			pr := pathindex.Pair{Src: graph.NodeID(n), Dst: graph.NodeID(n)}
+			seen[pr] = struct{}{}
+			out = append(out, pr)
+		}
+	}
+	var firstErr error
+	for c := range results {
+		if c.err != nil {
+			if firstErr == nil {
+				firstErr = c.err
+			}
+			continue
+		}
+		for _, pr := range c.pairs {
+			if _, dup := seen[pr]; !dup {
+				seen[pr] = struct{}{}
+				out = append(out, pr)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	st := p.stats
+	st.ResultPairs = len(out)
+	return &Result{Pairs: out, Stats: st}, nil
+}

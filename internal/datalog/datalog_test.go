@@ -1,0 +1,202 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/rpq"
+)
+
+func evalNames(t *testing.T, g *graph.Graph, query string) map[[2]string]bool {
+	t.Helper()
+	got, _, err := Eval(rpq.MustParse(query), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[[2]string]bool{}
+	for _, p := range got {
+		out[[2]string{g.NodeName(p.Src), g.NodeName(p.Dst)}] = true
+	}
+	return out
+}
+
+func TestSingleStepAndInverse(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.Freeze()
+	if got := evalNames(t, g, "a"); len(got) != 1 || !got[[2]string{"x", "y"}] {
+		t.Errorf("a = %v", got)
+	}
+	if got := evalNames(t, g, "a^-"); len(got) != 1 || !got[[2]string{"y", "x"}] {
+		t.Errorf("a^- = %v", got)
+	}
+}
+
+func TestChainRule(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.AddEdge("y", "b", "z")
+	g.Freeze()
+	if got := evalNames(t, g, "a/b"); len(got) != 1 || !got[[2]string{"x", "z"}] {
+		t.Errorf("a/b = %v", got)
+	}
+}
+
+func TestUnionAndEpsilon(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.Freeze()
+	got := evalNames(t, g, "a|()")
+	if len(got) != 3 {
+		t.Errorf("a|ε = %v, want {(x,y),(x,x),(y,y)}", got)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("n0", "a", "n1")
+	g.AddEdge("n1", "a", "n2")
+	g.AddEdge("n2", "a", "n3")
+	g.Freeze()
+	got := evalNames(t, g, "a*")
+	// 4 identity + 3+2+1 forward pairs.
+	if len(got) != 10 {
+		t.Errorf("a* on a 4-chain = %d pairs, want 10", len(got))
+	}
+	plus := evalNames(t, g, "a+")
+	if len(plus) != 6 {
+		t.Errorf("a+ on a 4-chain = %d pairs, want 6", len(plus))
+	}
+	// a{2,} on the chain: length-2 and length-3 hops.
+	ge2 := evalNames(t, g, "a{2,}")
+	if len(ge2) != 3 {
+		t.Errorf("a{2,} = %v, want 3 pairs", ge2)
+	}
+}
+
+func TestCyclicClosureTerminates(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.AddEdge("y", "a", "x")
+	g.Freeze()
+	got := evalNames(t, g, "a*")
+	if len(got) != 4 {
+		t.Errorf("a* on a 2-cycle = %d pairs, want 4", len(got))
+	}
+}
+
+func TestUnknownLabel(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.Freeze()
+	if got := evalNames(t, g, "zzz"); len(got) != 0 {
+		t.Errorf("unknown label = %v", got)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.AddEdge("y", "a", "z")
+	g.Freeze()
+	_, st, err := Eval(rpq.MustParse("a+"), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations < 2 {
+		t.Errorf("Iterations = %d, want >= 2", st.Iterations)
+	}
+	if st.Facts == 0 {
+		t.Error("Facts = 0")
+	}
+}
+
+func TestBadProgram(t *testing.T) {
+	p := &Program{Answer: 5, NumPreds: 1}
+	g := graph.New()
+	g.Freeze()
+	if _, _, err := p.Eval(g); err == nil {
+		t.Error("out-of-range answer predicate should fail")
+	}
+}
+
+// TestQuickDatalogAgreesWithAutomaton: the Datalog engine and the NFA
+// oracle agree on random queries (including unbounded repetition) over
+// random graphs.
+func TestQuickDatalogAgreesWithAutomaton(t *testing.T) {
+	genOpts := rpq.GenOptions{
+		Labels:         []string{"a", "b"},
+		MaxDepth:       3,
+		MaxFanout:      2,
+		MaxRepeatBound: 2,
+		AllowEpsilon:   true,
+		AllowInverse:   true,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		nodes := 3 + r.Intn(10)
+		g.EnsureNodes(nodes)
+		for _, name := range []string{"a", "b"} {
+			l := g.Label(name)
+			for e := 0; e < nodes; e++ {
+				g.AddEdgeID(graph.NodeID(r.Intn(nodes)), l, graph.NodeID(r.Intn(nodes)))
+			}
+		}
+		g.Freeze()
+		e := rpq.Generate(r, genOpts)
+		// Occasionally make it unbounded to exercise recursion.
+		if r.Intn(3) == 0 {
+			e = rpq.Repeat{Sub: e, Min: 0, Max: rpq.Unbounded}
+		}
+		want, err := automaton.Eval(e, g)
+		if err != nil {
+			return false
+		}
+		got, _, err := Eval(e, g)
+		if err != nil {
+			t.Logf("datalog eval: %v", err)
+			return false
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d query %s: datalog %d pairs, automaton %d", seed, e, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultsSorted(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("c", "a", "d")
+	g.AddEdge("a", "a", "b")
+	g.Freeze()
+	got, _, err := Eval(rpq.MustParse("a"), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if !less(got[i-1], got[i]) {
+			t.Errorf("results not sorted: %v", got)
+		}
+	}
+}
+
+func less(a, b pathindex.Pair) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}

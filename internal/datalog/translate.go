@@ -1,0 +1,134 @@
+package datalog
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/rpq"
+)
+
+// Translate compiles an RPQ into a Datalog program over g's vocabulary.
+// Every AST node becomes an IDB predicate; concatenations become chains
+// of binary join rules; bounded repetitions unroll into power predicates;
+// unbounded repetitions become recursive transitive-closure rules —
+// the classic RPQ-to-Datalog embedding.
+//
+// Steps over labels absent from g translate to predicates with no rules
+// (empty relations), matching the semantics of the other engines.
+func Translate(e rpq.Expr, g *graph.Graph) (*Program, error) {
+	if err := rpq.Validate(e); err != nil {
+		return nil, err
+	}
+	tr := &translator{prog: &Program{EDB: map[PredID]graph.DirLabel{}}, g: g}
+	tr.edbCache = map[graph.DirLabel]PredID{}
+	answer := tr.compile(e)
+	tr.prog.Answer = answer
+	tr.prog.NumPreds = tr.next
+	return tr.prog, nil
+}
+
+type translator struct {
+	prog     *Program
+	g        *graph.Graph
+	next     int
+	edbCache map[graph.DirLabel]PredID
+}
+
+func (tr *translator) newPred() PredID {
+	p := PredID(tr.next)
+	tr.next++
+	return p
+}
+
+// edb returns the predicate bound to a graph relation, creating it on
+// first use.
+func (tr *translator) edb(d graph.DirLabel) PredID {
+	if p, ok := tr.edbCache[d]; ok {
+		return p
+	}
+	p := tr.newPred()
+	tr.prog.EDB[p] = d
+	tr.edbCache[d] = p
+	return p
+}
+
+func (tr *translator) rule(r Rule) { tr.prog.Rules = append(tr.prog.Rules, r) }
+
+// compile returns the predicate holding e's relation.
+func (tr *translator) compile(e rpq.Expr) PredID {
+	switch v := e.(type) {
+	case rpq.Epsilon:
+		p := tr.newPred()
+		tr.rule(Rule{Head: p, Identity: true})
+		return p
+	case rpq.Step:
+		if l, ok := tr.g.LookupLabel(v.Label); ok {
+			d := graph.Fwd(l)
+			if v.Inverse {
+				d = graph.Inv(l)
+			}
+			return tr.edb(d)
+		}
+		return tr.newPred() // no rules: empty relation
+	case rpq.Concat:
+		cur := tr.compile(v.Parts[0])
+		for _, part := range v.Parts[1:] {
+			next := tr.compile(part)
+			head := tr.newPred()
+			tr.rule(Rule{Head: head, A: cur, B: next})
+			cur = head
+		}
+		return cur
+	case rpq.Union:
+		head := tr.newPred()
+		for _, alt := range v.Alts {
+			tr.rule(Rule{Head: head, A: tr.compile(alt), B: NoBody})
+		}
+		return head
+	case rpq.Repeat:
+		sub := tr.compile(v.Sub)
+		// power = sub^Min by repeated composition.
+		power := PredID(-2)
+		if v.Min == 0 {
+			power = tr.newPred()
+			tr.rule(Rule{Head: power, Identity: true})
+		} else {
+			power = sub
+			for i := 1; i < v.Min; i++ {
+				next := tr.newPred()
+				tr.rule(Rule{Head: next, A: power, B: sub})
+				power = next
+			}
+		}
+		if v.Max == rpq.Unbounded {
+			// closure(x,y) :- identity; closure(x,z) :- closure(x,y), sub(y,z).
+			closure := tr.newPred()
+			tr.rule(Rule{Head: closure, Identity: true})
+			tr.rule(Rule{Head: closure, A: closure, B: sub})
+			head := tr.newPred()
+			tr.rule(Rule{Head: head, A: power, B: closure})
+			return head
+		}
+		// head = power ∪ power∘sub ∪ … ∪ power∘sub^{Max-Min}.
+		head := tr.newPred()
+		tr.rule(Rule{Head: head, A: power, B: NoBody})
+		cur := power
+		for i := v.Min; i < v.Max; i++ {
+			next := tr.newPred()
+			tr.rule(Rule{Head: next, A: cur, B: sub})
+			tr.rule(Rule{Head: head, A: next, B: NoBody})
+			cur = next
+		}
+		return head
+	default:
+		return tr.newPred()
+	}
+}
+
+// Eval is a convenience one-shot: translate and evaluate e over g.
+func Eval(e rpq.Expr, g *graph.Graph) ([]pathindex.Pair, Stats, error) {
+	prog, err := Translate(e, g)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return prog.Eval(g)
+}

@@ -1,0 +1,228 @@
+// Package datasets provides deterministic synthetic graph generators for
+// the experiments, including a stand-in for the Advogato trust network
+// used in the evaluation of Fletcher, Peters & Poulovassilis (EDBT 2016).
+//
+// The real Advogato dataset (konect.uni-koblenz.de/networks/advogato) is
+// a social network of 6,541 nodes and 51,127 edges whose edges carry one
+// of three trust levels. It is not redistributable here, so Advogato()
+// generates a graph with the same node count, edge count, and label
+// count, a preferential-attachment (heavy-tailed) degree distribution,
+// and a skewed label distribution — the structural properties Figure 2's
+// relative results depend on. All generators are seeded and reproducible.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Advogato label names: the three trust levels of the real dataset.
+var AdvogatoLabels = []string{"apprentice", "journeyer", "master"}
+
+// Advogato dimensions matching the published dataset statistics.
+const (
+	AdvogatoNodes = 6541
+	AdvogatoEdges = 51127
+)
+
+// Advogato returns the synthetic Advogato stand-in at full scale.
+func Advogato(seed int64) *graph.Graph {
+	return AdvogatoScaled(seed, 1.0)
+}
+
+// AdvogatoScaled generates the Advogato stand-in scaled by factor ∈
+// (0, 1]: node and edge counts shrink proportionally while the degree
+// and label skew are preserved. Benchmarks use scaled-down instances to
+// keep default runs fast; cmd/bench runs full scale.
+func AdvogatoScaled(seed int64, factor float64) *graph.Graph {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("datasets: scale factor %v out of (0,1]", factor))
+	}
+	nodes := int(float64(AdvogatoNodes) * factor)
+	edges := int(float64(AdvogatoEdges) * factor)
+	if nodes < 10 {
+		nodes = 10
+	}
+	// Trust-level skew: most certifications are at the two higher
+	// levels, mirroring the published label distribution's shape.
+	weights := []float64{0.18, 0.42, 0.40}
+	return PreferentialAttachment(Config{
+		Nodes:        nodes,
+		Edges:        edges,
+		Labels:       AdvogatoLabels,
+		LabelWeights: weights,
+		Seed:         seed,
+	})
+}
+
+// Config parameterizes the preferential-attachment and uniform-random
+// generators.
+type Config struct {
+	Nodes int
+	Edges int
+	// Labels to assign to edges; must be non-empty.
+	Labels []string
+	// LabelWeights biases label assignment; nil means uniform. Must sum
+	// to a positive value and match len(Labels) when present.
+	LabelWeights []float64
+	Seed         int64
+}
+
+func (c Config) validate() {
+	if c.Nodes < 1 {
+		panic("datasets: Nodes must be positive")
+	}
+	if c.Edges < 0 {
+		panic("datasets: Edges must be non-negative")
+	}
+	if len(c.Labels) == 0 {
+		panic("datasets: at least one label required")
+	}
+	if c.LabelWeights != nil && len(c.LabelWeights) != len(c.Labels) {
+		panic("datasets: LabelWeights must match Labels")
+	}
+}
+
+// pickLabel samples a label index by weight.
+func pickLabel(r *rand.Rand, weights []float64, n int) int {
+	if weights == nil {
+		return r.Intn(n)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// PreferentialAttachment generates a directed scale-free multigraph: edge
+// targets are drawn proportionally to in-degree+1 (and sources
+// proportionally to out-degree+1 with probability 1/2, uniformly
+// otherwise), yielding the heavy-tailed hubs characteristic of social
+// networks like Advogato.
+func PreferentialAttachment(c Config) *graph.Graph {
+	c.validate()
+	r := rand.New(rand.NewSource(c.Seed))
+	g := graph.New()
+	g.EnsureNodes(c.Nodes)
+	labelIDs := make([]graph.LabelID, len(c.Labels))
+	for i, name := range c.Labels {
+		labelIDs[i] = g.Label(name)
+	}
+	// repeated holds one entry per edge endpoint, so uniform sampling
+	// from it is preferential by degree.
+	targets := make([]graph.NodeID, 0, c.Edges+c.Nodes)
+	sources := make([]graph.NodeID, 0, c.Edges+c.Nodes)
+	for n := 0; n < c.Nodes; n++ {
+		targets = append(targets, graph.NodeID(n))
+		sources = append(sources, graph.NodeID(n))
+	}
+	for e := 0; e < c.Edges; e++ {
+		var src graph.NodeID
+		if r.Intn(2) == 0 {
+			src = sources[r.Intn(len(sources))]
+		} else {
+			src = graph.NodeID(r.Intn(c.Nodes))
+		}
+		dst := targets[r.Intn(len(targets))]
+		l := labelIDs[pickLabel(r, c.LabelWeights, len(labelIDs))]
+		g.AddEdgeID(src, l, dst)
+		sources = append(sources, src)
+		targets = append(targets, dst)
+	}
+	g.Freeze()
+	return g
+}
+
+// ErdosRenyi generates a uniform random directed graph with exactly
+// c.Edges edge draws (duplicates are merged by Freeze).
+func ErdosRenyi(c Config) *graph.Graph {
+	c.validate()
+	r := rand.New(rand.NewSource(c.Seed))
+	g := graph.New()
+	g.EnsureNodes(c.Nodes)
+	labelIDs := make([]graph.LabelID, len(c.Labels))
+	for i, name := range c.Labels {
+		labelIDs[i] = g.Label(name)
+	}
+	for e := 0; e < c.Edges; e++ {
+		src := graph.NodeID(r.Intn(c.Nodes))
+		dst := graph.NodeID(r.Intn(c.Nodes))
+		l := labelIDs[pickLabel(r, c.LabelWeights, len(labelIDs))]
+		g.AddEdgeID(src, l, dst)
+	}
+	g.Freeze()
+	return g
+}
+
+// Chain generates a directed path of n nodes with a single label — the
+// worst case for reachability-style indexes and a best case for merge
+// joins.
+func Chain(n int, label string) *graph.Graph {
+	if n < 1 {
+		panic("datasets: Chain requires at least one node")
+	}
+	g := graph.New()
+	g.EnsureNodes(n)
+	l := g.Label(label)
+	for i := 0; i < n-1; i++ {
+		g.AddEdgeID(graph.NodeID(i), l, graph.NodeID(i+1))
+	}
+	g.Freeze()
+	return g
+}
+
+// Grid generates a rows×cols lattice with "right" edges under hLabel and
+// "down" edges under vLabel: a bounded-degree graph with long shortest
+// paths, complementing the hub-heavy generators.
+func Grid(rows, cols int, hLabel, vLabel string) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("datasets: Grid requires positive dimensions")
+	}
+	g := graph.New()
+	g.EnsureNodes(rows * cols)
+	h := g.Label(hLabel)
+	v := g.Label(vLabel)
+	at := func(rr, cc int) graph.NodeID { return graph.NodeID(rr*cols + cc) }
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc < cols; cc++ {
+			if cc+1 < cols {
+				g.AddEdgeID(at(rr, cc), h, at(rr, cc+1))
+			}
+			if rr+1 < rows {
+				g.AddEdgeID(at(rr, cc), v, at(rr+1, cc))
+			}
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// Star generates a hub with n spokes: out-edges hub→spoke under outLabel
+// and in-edges spoke→hub under inLabel. Joins through the hub produce
+// quadratic intermediate results, stressing join-order choices.
+func Star(n int, outLabel, inLabel string) *graph.Graph {
+	if n < 1 {
+		panic("datasets: Star requires at least one spoke")
+	}
+	g := graph.New()
+	g.EnsureNodes(n + 1)
+	out := g.Label(outLabel)
+	in := g.Label(inLabel)
+	hub := graph.NodeID(0)
+	for i := 1; i <= n; i++ {
+		g.AddEdgeID(hub, out, graph.NodeID(i))
+		g.AddEdgeID(graph.NodeID(i), in, hub)
+	}
+	g.Freeze()
+	return g
+}

@@ -1,0 +1,143 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAdvogatoShape(t *testing.T) {
+	g := Advogato(1)
+	if g.NumNodes() != AdvogatoNodes {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), AdvogatoNodes)
+	}
+	if g.NumLabels() != 3 {
+		t.Errorf("labels = %d, want 3", g.NumLabels())
+	}
+	// Duplicate edge draws are merged, so allow a small shortfall.
+	if g.NumEdges() < AdvogatoEdges*95/100 || g.NumEdges() > AdvogatoEdges {
+		t.Errorf("edges = %d, want ~%d", g.NumEdges(), AdvogatoEdges)
+	}
+	st := g.ComputeStats()
+	// Preferential attachment must produce hubs far above the mean
+	// degree (~8).
+	if st.MaxInDeg < 50 {
+		t.Errorf("MaxInDeg = %d; expected heavy-tailed hubs", st.MaxInDeg)
+	}
+	// All three labels used substantially.
+	for i, c := range st.PerLabel {
+		if c < g.NumEdges()/10 {
+			t.Errorf("label %s has only %d edges", g.LabelName(graph.LabelID(i)), c)
+		}
+	}
+}
+
+func TestAdvogatoDeterministic(t *testing.T) {
+	a := Advogato(7)
+	b := Advogato(7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	c := Advogato(8)
+	if a.NumEdges() == c.NumEdges() && sameFirstEdges(a, c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func sameFirstEdges(a, b *graph.Graph) bool {
+	ea, eb := a.Edges(0), b.Edges(0)
+	n := 10
+	if len(ea) < n || len(eb) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAdvogatoScaled(t *testing.T) {
+	g := AdvogatoScaled(1, 0.1)
+	if g.NumNodes() != AdvogatoNodes/10 {
+		t.Errorf("scaled nodes = %d, want %d", g.NumNodes(), AdvogatoNodes/10)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("factor > 1 should panic")
+		}
+	}()
+	AdvogatoScaled(1, 2.0)
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(Config{Nodes: 100, Edges: 300, Labels: []string{"a", "b"}, Seed: 3})
+	if g.NumNodes() != 100 || g.NumLabels() != 2 {
+		t.Errorf("shape: %d nodes, %d labels", g.NumNodes(), g.NumLabels())
+	}
+	if g.NumEdges() < 250 || g.NumEdges() > 300 {
+		t.Errorf("edges = %d, want ~300 after dedup", g.NumEdges())
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5, "next")
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Errorf("chain: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	l, _ := g.LookupLabel("next")
+	if len(g.Out(0, graph.Fwd(l))) != 1 {
+		t.Error("node 0 should have one successor")
+	}
+	if len(g.Out(4, graph.Fwd(l))) != 0 {
+		t.Error("tail should have no successor")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4, "right", "down")
+	if g.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", g.NumNodes())
+	}
+	// Right edges: 3 rows x 3; down edges: 2 x 4.
+	r, _ := g.LookupLabel("right")
+	d, _ := g.LookupLabel("down")
+	if len(g.Edges(r)) != 9 || len(g.Edges(d)) != 8 {
+		t.Errorf("right=%d down=%d, want 9/8", len(g.Edges(r)), len(g.Edges(d)))
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(10, "out", "in")
+	if g.NumNodes() != 11 || g.NumEdges() != 20 {
+		t.Errorf("star: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	out, _ := g.LookupLabel("out")
+	if len(g.Out(0, graph.Fwd(out))) != 10 {
+		t.Error("hub should have 10 out-spokes")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PreferentialAttachment(Config{Nodes: 0, Labels: []string{"a"}}) },
+		func() { ErdosRenyi(Config{Nodes: 5, Edges: -1, Labels: []string{"a"}}) },
+		func() { ErdosRenyi(Config{Nodes: 5, Edges: 1}) },
+		func() {
+			PreferentialAttachment(Config{Nodes: 5, Edges: 1, Labels: []string{"a"}, LabelWeights: []float64{1, 2}})
+		},
+		func() { Chain(0, "a") },
+		func() { Grid(0, 3, "a", "b") },
+		func() { Star(0, "a", "b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid config")
+				}
+			}()
+			fn()
+		}()
+	}
+}

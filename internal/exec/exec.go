@@ -1,0 +1,431 @@
+// Package exec provides the physical operators that evaluate the plans of
+// internal/plan against a k-path index: index scans (forward and
+// inverted), merge joins on the index sort order, hash joins, identity
+// scans for ε, and the top-level deduplicating union that realizes the
+// paper's set semantics for query answers.
+//
+// Operators follow the Volcano iterator model: Next returns one
+// (source, target) pair at a time. Operators also expose runtime counters
+// for the engine's statistics output.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+)
+
+// Pair is a query result: a (source, target) node pair.
+type Pair = pathindex.Pair
+
+// Operator produces a stream of pairs.
+type Operator interface {
+	// Next returns the next pair; ok=false at exhaustion.
+	Next() (Pair, bool)
+	// Rows returns the number of pairs produced so far.
+	Rows() int
+	// Name identifies the operator kind in statistics output.
+	Name() string
+}
+
+// Stats aggregates runtime counters over an operator tree.
+type Stats struct {
+	RowsByOperator map[string]int
+	TotalRows      int
+}
+
+// CollectStats walks an operator tree, summing produced rows by operator
+// kind.
+func CollectStats(op Operator) Stats {
+	st := Stats{RowsByOperator: map[string]int{}}
+	var walk func(Operator)
+	walk = func(op Operator) {
+		st.RowsByOperator[op.Name()] += op.Rows()
+		st.TotalRows += op.Rows()
+		type hasChildren interface{ children() []Operator }
+		if hc, ok := op.(hasChildren); ok {
+			for _, c := range hc.children() {
+				walk(c)
+			}
+		}
+	}
+	walk(op)
+	return st
+}
+
+// BuildOptions configures operator-tree construction.
+type BuildOptions struct {
+	// PerJoinDedup wraps every join in a Distinct operator, trading
+	// hash-set maintenance for smaller intermediate results (ablation
+	// Ext-3c). The top-level union deduplicates regardless, so results
+	// are identical either way.
+	PerJoinDedup bool
+}
+
+// Build translates a physical plan into an operator tree over ix. The
+// identity (ε) disjunct enumerates all graph nodes.
+func Build(p *plan.Plan, ix *pathindex.Index, opts BuildOptions) (Operator, error) {
+	var ops []Operator
+	if p.HasEpsilon {
+		ops = append(ops, NewIdentityScan(ix.Graph()))
+	}
+	for _, d := range p.Disjuncts {
+		op, err := buildNode(d, ix, opts)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return NewUnionDistinct(ops), nil
+}
+
+func buildNode(n plan.Node, ix *pathindex.Index, opts BuildOptions) (Operator, error) {
+	switch v := n.(type) {
+	case *plan.Scan:
+		if len(v.Segment) > ix.K() {
+			return nil, fmt.Errorf("exec: segment %v longer than index k=%d", v.Segment, ix.K())
+		}
+		return NewIndexScan(ix, v.Segment, v.Inverted), nil
+	case *plan.Join:
+		left, err := buildNode(v.Left, ix, opts)
+		if err != nil {
+			return nil, err
+		}
+		right, err := buildNode(v.Right, ix, opts)
+		if err != nil {
+			return nil, err
+		}
+		var join Operator
+		if v.Algo == plan.Merge {
+			join = NewMergeJoin(left, right)
+		} else {
+			join = NewHashJoin(left, right, v.BuildRight)
+		}
+		if opts.PerJoinDedup {
+			join = NewDistinct(join)
+		}
+		return join, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+// Run drains an operator into a deduplicated result slice, sorted by
+// (src, dst).
+func Run(op Operator) []Pair {
+	var out []Pair
+	for {
+		pr, ok := op.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, pr)
+	}
+}
+
+// IndexScan streams one segment's relation from the index. With swap=true
+// it physically scans the segment's inverse path and swaps the
+// components, so pairs of the original segment arrive ordered by target —
+// the inverted scans of the paper's merge-join plans.
+type IndexScan struct {
+	it   *pathindex.PairIterator
+	swap bool
+	rows int
+}
+
+// NewIndexScan returns a scan of segment; inverted selects target order.
+func NewIndexScan(ix *pathindex.Index, segment pathindex.Path, inverted bool) *IndexScan {
+	p := segment
+	if inverted {
+		p = segment.Inverse()
+	}
+	return &IndexScan{it: ix.Scan(p), swap: inverted}
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (Pair, bool) {
+	pr, ok := s.it.Next()
+	if !ok {
+		return Pair{}, false
+	}
+	if s.swap {
+		pr.Src, pr.Dst = pr.Dst, pr.Src
+	}
+	s.rows++
+	return pr, true
+}
+
+// Rows implements Operator.
+func (s *IndexScan) Rows() int { return s.rows }
+
+// Name implements Operator.
+func (s *IndexScan) Name() string { return "index-scan" }
+
+// IdentityScan emits (n, n) for every node of the graph, realizing the ε
+// disjunct.
+type IdentityScan struct {
+	n, total int
+	rows     int
+}
+
+// NewIdentityScan returns an identity scan over g's nodes.
+func NewIdentityScan(g *graph.Graph) *IdentityScan {
+	return &IdentityScan{total: g.NumNodes()}
+}
+
+// Next implements Operator.
+func (s *IdentityScan) Next() (Pair, bool) {
+	if s.n >= s.total {
+		return Pair{}, false
+	}
+	id := graph.NodeID(s.n)
+	s.n++
+	s.rows++
+	return Pair{Src: id, Dst: id}, true
+}
+
+// Rows implements Operator.
+func (s *IdentityScan) Rows() int { return s.rows }
+
+// Name implements Operator.
+func (s *IdentityScan) Name() string { return "identity-scan" }
+
+// MergeJoin composes left with right on left.dst = right.src. It requires
+// left ordered by dst (an inverted scan) and right ordered by src (a
+// forward scan); both hold groups of equal keys, which are
+// cross-producted.
+type MergeJoin struct {
+	left, right Operator
+
+	leftRow, rightRow Pair
+	leftOK, rightOK   bool
+	started           bool
+	group             []graph.NodeID // right targets for the current key
+	groupSrcs         []graph.NodeID // left sources for the current key
+	gi, gj            int
+	rows              int
+}
+
+// NewMergeJoin returns a merge join of left and right.
+func NewMergeJoin(left, right Operator) *MergeJoin {
+	return &MergeJoin{left: left, right: right}
+}
+
+func (m *MergeJoin) children() []Operator { return []Operator{m.left, m.right} }
+
+// Next implements Operator.
+func (m *MergeJoin) Next() (Pair, bool) {
+	if !m.started {
+		m.leftRow, m.leftOK = m.left.Next()
+		m.rightRow, m.rightOK = m.right.Next()
+		m.started = true
+	}
+	for {
+		// Emit from the current group cross product.
+		if m.gi < len(m.groupSrcs) {
+			pr := Pair{Src: m.groupSrcs[m.gi], Dst: m.group[m.gj]}
+			m.gj++
+			if m.gj == len(m.group) {
+				m.gj = 0
+				m.gi++
+			}
+			m.rows++
+			return pr, true
+		}
+		if !m.leftOK || !m.rightOK {
+			return Pair{}, false
+		}
+		switch {
+		case m.leftRow.Dst < m.rightRow.Src:
+			m.leftRow, m.leftOK = m.left.Next()
+		case m.leftRow.Dst > m.rightRow.Src:
+			m.rightRow, m.rightOK = m.right.Next()
+		default:
+			key := m.leftRow.Dst
+			m.groupSrcs = m.groupSrcs[:0]
+			for m.leftOK && m.leftRow.Dst == key {
+				m.groupSrcs = append(m.groupSrcs, m.leftRow.Src)
+				m.leftRow, m.leftOK = m.left.Next()
+			}
+			m.group = m.group[:0]
+			for m.rightOK && m.rightRow.Src == key {
+				m.group = append(m.group, m.rightRow.Dst)
+				m.rightRow, m.rightOK = m.right.Next()
+			}
+			m.gi, m.gj = 0, 0
+		}
+	}
+}
+
+// Rows implements Operator.
+func (m *MergeJoin) Rows() int { return m.rows }
+
+// Name implements Operator.
+func (m *MergeJoin) Name() string { return "merge-join" }
+
+// HashJoin composes left with right on left.dst = right.src, building a
+// hash table on one side and probing with the other.
+type HashJoin struct {
+	left, right Operator
+	buildRight  bool
+
+	built   bool
+	table   map[graph.NodeID][]graph.NodeID
+	probeOp Operator
+
+	probeRow Pair
+	matches  []graph.NodeID
+	mi       int
+	rows     int
+}
+
+// NewHashJoin returns a hash join; buildRight selects the hashed side.
+func NewHashJoin(left, right Operator, buildRight bool) *HashJoin {
+	return &HashJoin{left: left, right: right, buildRight: buildRight}
+}
+
+func (h *HashJoin) children() []Operator { return []Operator{h.left, h.right} }
+
+func (h *HashJoin) build() {
+	h.table = map[graph.NodeID][]graph.NodeID{}
+	if h.buildRight {
+		// Hash right on src -> list of dst; probe with left rows.
+		for {
+			pr, ok := h.right.Next()
+			if !ok {
+				break
+			}
+			h.table[pr.Src] = append(h.table[pr.Src], pr.Dst)
+		}
+		h.probeOp = h.left
+	} else {
+		// Hash left on dst -> list of src; probe with right rows.
+		for {
+			pr, ok := h.left.Next()
+			if !ok {
+				break
+			}
+			h.table[pr.Dst] = append(h.table[pr.Dst], pr.Src)
+		}
+		h.probeOp = h.right
+	}
+	h.built = true
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next() (Pair, bool) {
+	if !h.built {
+		h.build()
+	}
+	for {
+		if h.mi < len(h.matches) {
+			var pr Pair
+			if h.buildRight {
+				// probe row is a left row (a,b); matches are right dsts.
+				pr = Pair{Src: h.probeRow.Src, Dst: h.matches[h.mi]}
+			} else {
+				// probe row is a right row (b,c); matches are left srcs.
+				pr = Pair{Src: h.matches[h.mi], Dst: h.probeRow.Dst}
+			}
+			h.mi++
+			h.rows++
+			return pr, true
+		}
+		row, ok := h.probeOp.Next()
+		if !ok {
+			return Pair{}, false
+		}
+		h.probeRow = row
+		if h.buildRight {
+			h.matches = h.table[row.Dst]
+		} else {
+			h.matches = h.table[row.Src]
+		}
+		h.mi = 0
+	}
+}
+
+// Rows implements Operator.
+func (h *HashJoin) Rows() int { return h.rows }
+
+// Name implements Operator.
+func (h *HashJoin) Name() string { return "hash-join" }
+
+// UnionDistinct concatenates child streams and removes duplicate pairs —
+// the top-level union over disjuncts with the paper's set semantics.
+type UnionDistinct struct {
+	kids []Operator
+	i    int
+	seen map[Pair]struct{}
+	rows int
+}
+
+// NewUnionDistinct returns a deduplicating union of the children.
+func NewUnionDistinct(children []Operator) *UnionDistinct {
+	return &UnionDistinct{kids: children, seen: map[Pair]struct{}{}}
+}
+
+func (u *UnionDistinct) children() []Operator { return u.kids }
+
+// Next implements Operator.
+func (u *UnionDistinct) Next() (Pair, bool) {
+	for u.i < len(u.kids) {
+		pr, ok := u.kids[u.i].Next()
+		if !ok {
+			u.i++
+			continue
+		}
+		if _, dup := u.seen[pr]; dup {
+			continue
+		}
+		u.seen[pr] = struct{}{}
+		u.rows++
+		return pr, true
+	}
+	return Pair{}, false
+}
+
+// Rows implements Operator.
+func (u *UnionDistinct) Rows() int { return u.rows }
+
+// Name implements Operator.
+func (u *UnionDistinct) Name() string { return "union-distinct" }
+
+// Distinct deduplicates a single child stream. It is inserted above every
+// join when the engine's per-join deduplication ablation is enabled.
+type Distinct struct {
+	child Operator
+	seen  map[Pair]struct{}
+	rows  int
+}
+
+// NewDistinct returns a deduplicating wrapper around child.
+func NewDistinct(child Operator) *Distinct {
+	return &Distinct{child: child, seen: map[Pair]struct{}{}}
+}
+
+func (d *Distinct) children() []Operator { return []Operator{d.child} }
+
+// Next implements Operator.
+func (d *Distinct) Next() (Pair, bool) {
+	for {
+		pr, ok := d.child.Next()
+		if !ok {
+			return Pair{}, false
+		}
+		if _, dup := d.seen[pr]; dup {
+			continue
+		}
+		d.seen[pr] = struct{}{}
+		d.rows++
+		return pr, true
+	}
+}
+
+// Rows implements Operator.
+func (d *Distinct) Rows() int { return d.rows }
+
+// Name implements Operator.
+func (d *Distinct) Name() string { return "distinct" }

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadEdgeList parses a graph from a whitespace-separated edge list with
+// one edge per line in the form
+//
+//	source label target
+//
+// Blank lines and lines starting with '#' are ignored. The returned graph
+// is frozen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 3 fields (source label target), got %d", lineNo, len(fields))
+		}
+		g.AddEdge(fields[0], fields[1], fields[2])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	g.Freeze()
+	return g, nil
+}
+
+// LoadEdgeList reads an edge-list file from path. See ReadEdgeList for the
+// format.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes g in the edge-list format accepted by ReadEdgeList.
+// The graph must be frozen.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	g.mustBeFrozen()
+	bw := bufio.NewWriter(w)
+	for l := range g.edges {
+		name := g.labelNames[l]
+		for _, e := range g.edges[l] {
+			if _, err := fmt.Fprintf(bw, "%s %s %s\n", g.nodeNames[e.Src], name, g.nodeNames[e.Dst]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveEdgeList writes g to path in edge-list format.
+func (g *Graph) SaveEdgeList(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

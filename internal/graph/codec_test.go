@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failWriter fails after a fixed number of bytes, for io-error paths.
+type failWriter struct {
+	remaining int
+}
+
+var errDiskFull = errors.New("synthetic disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errDiskFull
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestWriteEdgeListIOError(t *testing.T) {
+	g := ExampleGraph()
+	// The graph serializes to a few hundred bytes; failing after 10
+	// must surface the error (possibly at Flush time).
+	err := g.WriteEdgeList(&failWriter{remaining: 10})
+	if err == nil {
+		t.Fatal("expected an error from the failing writer")
+	}
+}
+
+func TestSaveLoadEdgeListFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := ExampleGraph()
+	if err := g.SaveEdgeList(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	if err := g.SaveEdgeList(filepath.Join(dir, "no/such/dir/g.txt")); err == nil {
+		t.Error("saving into a missing directory should fail")
+	}
+	if _, err := LoadEdgeList(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestReadEdgeListLongLines(t *testing.T) {
+	// A node name approaching the scanner buffer must still parse.
+	long := strings.Repeat("x", 100_000)
+	g, err := ReadEdgeList(strings.NewReader(long + " l " + long + "2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestWriteEdgeListRequiresFrozen(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "l", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteEdgeList on unfrozen graph did not panic")
+		}
+	}()
+	_ = g.WriteEdgeList(&strings.Builder{})
+}

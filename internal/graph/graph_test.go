@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestInternNodesAndLabels(t *testing.T) {
+	g := New()
+	a := g.Node("a")
+	b := g.Node("b")
+	if a == b {
+		t.Fatalf("distinct names must intern to distinct IDs")
+	}
+	if got := g.Node("a"); got != a {
+		t.Errorf("re-interning a: got %d, want %d", got, a)
+	}
+	k := g.Label("knows")
+	if got := g.Label("knows"); got != k {
+		t.Errorf("re-interning label: got %d, want %d", got, k)
+	}
+	if g.NumNodes() != 2 || g.NumLabels() != 1 {
+		t.Errorf("counts: nodes=%d labels=%d, want 2,1", g.NumNodes(), g.NumLabels())
+	}
+	if g.NodeName(a) != "a" || g.LabelName(k) != "knows" {
+		t.Errorf("name round trip failed")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := New()
+	g.AddEdge("x", "l", "y")
+	if _, ok := g.LookupNode("x"); !ok {
+		t.Error("LookupNode(x) not found")
+	}
+	if _, ok := g.LookupNode("zzz"); ok {
+		t.Error("LookupNode(zzz) unexpectedly found")
+	}
+	if _, ok := g.LookupLabel("l"); !ok {
+		t.Error("LookupLabel(l) not found")
+	}
+	if _, ok := g.LookupLabel("m"); ok {
+		t.Error("LookupLabel(m) unexpectedly found")
+	}
+}
+
+func TestDirLabelEncoding(t *testing.T) {
+	for l := LabelID(0); l < 10; l++ {
+		f, i := Fwd(l), Inv(l)
+		if f.Label() != l || i.Label() != l {
+			t.Fatalf("label %d: round trip failed", l)
+		}
+		if f.IsInverse() || !i.IsInverse() {
+			t.Fatalf("label %d: direction bits wrong", l)
+		}
+		if f.Flip() != i || i.Flip() != f {
+			t.Fatalf("label %d: Flip not involutive", l)
+		}
+	}
+}
+
+func TestFreezeDeduplicatesAndSorts(t *testing.T) {
+	g := New()
+	g.AddEdge("b", "l", "a")
+	g.AddEdge("a", "l", "b")
+	g.AddEdge("a", "l", "b") // duplicate
+	g.AddEdge("a", "l", "a")
+	g.Freeze()
+	l, _ := g.LookupLabel("l")
+	es := g.Edges(l)
+	if len(es) != 3 {
+		t.Fatalf("got %d edges, want 3 after dedup", len(es))
+	}
+	if !sort.SliceIsSorted(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	}) {
+		t.Errorf("edges not sorted: %v", es)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges=%d, want 3", g.NumEdges())
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "l", "b")
+	g.Freeze()
+	g.Freeze()
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges=%d, want 1", g.NumEdges())
+	}
+}
+
+func TestAddEdgeAfterFreezePanics(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "l", "b")
+	g.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge after Freeze did not panic")
+		}
+	}()
+	g.AddEdge("c", "l", "d")
+}
+
+func TestAdjacencyForwardAndInverse(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "l", "b")
+	g.AddEdge("a", "l", "c")
+	g.AddEdge("d", "l", "b")
+	g.Freeze()
+	l, _ := g.LookupLabel("l")
+	a, _ := g.LookupNode("a")
+	b, _ := g.LookupNode("b")
+	c, _ := g.LookupNode("c")
+	d, _ := g.LookupNode("d")
+
+	out := g.Out(a, Fwd(l))
+	if len(out) != 2 || out[0] != b || out[1] != c {
+		t.Errorf("Out(a, l) = %v, want [b c] = [%d %d]", out, b, c)
+	}
+	in := g.Out(b, Inv(l))
+	want := []NodeID{a, d}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(in) != 2 || in[0] != want[0] || in[1] != want[1] {
+		t.Errorf("Out(b, l^-) = %v, want %v", in, want)
+	}
+	if len(g.Out(c, Fwd(l))) != 0 {
+		t.Errorf("Out(c, l) should be empty")
+	}
+	if g.Degree(a, Fwd(l)) != 2 {
+		t.Errorf("Degree(a, l) = %d, want 2", g.Degree(a, Fwd(l)))
+	}
+}
+
+func TestInverseAdjacencySorted(t *testing.T) {
+	g := New()
+	// Insert in an order that makes the reverse adjacency unsorted unless
+	// buildCSR sorts it.
+	g.AddEdge("z", "l", "hub")
+	g.AddEdge("a", "l", "hub")
+	g.AddEdge("m", "l", "hub")
+	g.Freeze()
+	l, _ := g.LookupLabel("l")
+	hub, _ := g.LookupNode("hub")
+	in := g.Out(hub, Inv(l))
+	if !sort.SliceIsSorted(in, func(i, j int) bool { return in[i] < in[j] }) {
+		t.Errorf("inverse adjacency not sorted: %v", in)
+	}
+	if len(in) != 3 {
+		t.Errorf("got %d in-neighbors, want 3", len(in))
+	}
+}
+
+func TestUnfrozenAccessPanics(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "l", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("Out on unfrozen graph did not panic")
+		}
+	}()
+	g.Out(0, 0)
+}
+
+func TestEnsureNodes(t *testing.T) {
+	g := New()
+	g.EnsureNodes(5)
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes=%d, want 5", g.NumNodes())
+	}
+	if g.NodeName(3) != "3" {
+		t.Errorf("NodeName(3)=%q, want \"3\"", g.NodeName(3))
+	}
+	g.EnsureNodes(3) // shrinking is a no-op
+	if g.NumNodes() != 5 {
+		t.Errorf("NumNodes=%d after no-op EnsureNodes, want 5", g.NumNodes())
+	}
+}
+
+func TestDirLabels(t *testing.T) {
+	g := New()
+	g.Label("a")
+	g.Label("b")
+	ds := g.DirLabels()
+	if len(ds) != 4 {
+		t.Fatalf("got %d dir labels, want 4", len(ds))
+	}
+	if ds[0].IsInverse() || !ds[1].IsInverse() {
+		t.Errorf("expected fwd,inv alternation: %v", ds)
+	}
+}
+
+func TestDirLabelName(t *testing.T) {
+	g := New()
+	k := g.Label("knows")
+	if got := g.DirLabelName(Fwd(k)); got != "knows" {
+		t.Errorf("forward name = %q", got)
+	}
+	if got := g.DirLabelName(Inv(k)); got != "knows^-" {
+		t.Errorf("inverse name = %q", got)
+	}
+}
+
+func TestExampleGraphShape(t *testing.T) {
+	g := ExampleGraph()
+	if g.NumNodes() != 9 {
+		t.Errorf("Gex nodes = %d, want 9", g.NumNodes())
+	}
+	if g.NumLabels() != 3 {
+		t.Errorf("Gex labels = %d, want 3", g.NumLabels())
+	}
+	for _, name := range []string{"ada", "jan", "joe", "kim", "liz", "sam", "sue", "tim", "zoe"} {
+		if _, ok := g.LookupNode(name); !ok {
+			t.Errorf("Gex missing node %q", name)
+		}
+	}
+	// The documented paths₂ witnesses (Section 2.1): knows(zoe,sam),
+	// knows(ada,zoe), worksFor(zoe,ada), and no direct edge between sam
+	// and ada in either direction under any label.
+	knows, _ := g.LookupLabel("knows")
+	wf, _ := g.LookupLabel("worksFor")
+	zoe, _ := g.LookupNode("zoe")
+	sam, _ := g.LookupNode("sam")
+	ada, _ := g.LookupNode("ada")
+	if !containsNode(g.Out(zoe, Fwd(knows)), sam) {
+		t.Error("Gex missing knows(zoe,sam)")
+	}
+	if !containsNode(g.Out(ada, Fwd(knows)), zoe) {
+		t.Error("Gex missing knows(ada,zoe)")
+	}
+	if !containsNode(g.Out(zoe, Fwd(wf)), ada) {
+		t.Error("Gex missing worksFor(zoe,ada)")
+	}
+	for _, d := range g.DirLabels() {
+		if containsNode(g.Out(sam, d), ada) {
+			t.Errorf("Gex has a direct %s edge between sam and ada", g.DirLabelName(d))
+		}
+	}
+}
+
+func containsNode(ns []NodeID, x NodeID) bool {
+	for _, n := range ns {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := ExampleGraph()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() || g2.NumLabels() != g.NumLabels() {
+		t.Errorf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			g2.NumNodes(), g2.NumEdges(), g2.NumLabels(),
+			g.NumNodes(), g.NumEdges(), g.NumLabels())
+	}
+	// Edge sets must match by name.
+	for l := 0; l < g.NumLabels(); l++ {
+		name := g.LabelName(LabelID(l))
+		l2, ok := g2.LookupLabel(name)
+		if !ok {
+			t.Fatalf("label %q lost in round trip", name)
+		}
+		es, es2 := g.Edges(LabelID(l)), g2.Edges(l2)
+		if len(es) != len(es2) {
+			t.Fatalf("label %q: %d vs %d edges", name, len(es), len(es2))
+		}
+		set := map[[2]string]bool{}
+		for _, e := range es {
+			set[[2]string{g.NodeName(e.Src), g.NodeName(e.Dst)}] = true
+		}
+		for _, e := range es2 {
+			if !set[[2]string{g2.NodeName(e.Src), g2.NodeName(e.Dst)}] {
+				t.Errorf("label %q: edge %s->%s not in original", name, g2.NodeName(e.Src), g2.NodeName(e.Dst))
+			}
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Error("2-field line: want error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b c d\n")); err == nil {
+		t.Error("4-field line: want error")
+	}
+	g, err := ReadEdgeList(strings.NewReader("# comment\n\na knows b\n"))
+	if err != nil {
+		t.Fatalf("comment/blank handling: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("got %d edges, want 1", g.NumEdges())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := New()
+	g.AddEdge("hub", "a", "x")
+	g.AddEdge("hub", "a", "y")
+	g.AddEdge("hub", "b", "z")
+	g.AddEdge("x", "a", "z")
+	g.Freeze()
+	st := g.ComputeStats()
+	if st.Nodes != 4 || st.Edges != 4 || st.Labels != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxOutDeg != 3 {
+		t.Errorf("MaxOutDeg = %d, want 3 (hub)", st.MaxOutDeg)
+	}
+	if st.MaxInDeg != 2 {
+		t.Errorf("MaxInDeg = %d, want 2 (z)", st.MaxInDeg)
+	}
+	if st.PerLabel[0] != 3 || st.PerLabel[1] != 1 {
+		t.Errorf("PerLabel = %v", st.PerLabel)
+	}
+}

@@ -1,0 +1,159 @@
+// Package histogram implements the k-path selectivity statistics of
+// Fletcher, Peters & Poulovassilis (EDBT 2016), Section 3.2: the structure
+// sel_{G,k} which, given a label path p of length at most k, estimates the
+// fraction of paths_k(G) satisfied by p.
+//
+// Following the paper, the default implementation is an equi-depth
+// histogram: indexed label paths are ordered lexicographically and grouped
+// into buckets of approximately equal total pair count; a lookup returns
+// the average count of the bucket the path falls into. An exact per-path
+// variant exists for the ablation experiments, representing the limit of
+// infinitely many buckets.
+package histogram
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pathindex"
+)
+
+// Histogram estimates |p(G)| and selectivity for label paths of length at
+// most k.
+type Histogram struct {
+	exact map[string]int // non-nil in exact mode
+
+	// Equi-depth state: buckets ordered by upper key.
+	buckets []bucket
+
+	denominator float64 // |paths_k(G)|, the selectivity denominator
+	totalCount  int
+	numPaths    int
+}
+
+type bucket struct {
+	upperKey string // largest path key in the bucket
+	total    int    // summed pair count
+	paths    int    // number of label paths
+}
+
+// BuildExact returns per-path exact statistics (the infinite-bucket
+// limit).
+func BuildExact(ix *pathindex.Index) *Histogram {
+	h := &Histogram{exact: map[string]int{}}
+	ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
+		h.exact[p.Key()] = count
+		h.totalCount += count
+		h.numPaths++
+	})
+	h.denominator = denominatorOf(ix, h.totalCount)
+	return h
+}
+
+// BuildEquiDepth returns an equi-depth histogram with at most maxBuckets
+// buckets. maxBuckets must be positive.
+func BuildEquiDepth(ix *pathindex.Index, maxBuckets int) (*Histogram, error) {
+	if maxBuckets < 1 {
+		return nil, fmt.Errorf("histogram: bucket count must be positive, got %d", maxBuckets)
+	}
+	type entry struct {
+		key   string
+		count int
+	}
+	var entries []entry
+	total := 0
+	ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
+		entries = append(entries, entry{p.Key(), count})
+		total += count
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+
+	h := &Histogram{totalCount: total, numPaths: len(entries)}
+	h.denominator = denominatorOf(ix, total)
+	if len(entries) == 0 {
+		return h, nil
+	}
+	depth := (total + maxBuckets - 1) / maxBuckets
+	if depth < 1 {
+		depth = 1
+	}
+	cur := bucket{}
+	for _, e := range entries {
+		cur.total += e.count
+		cur.paths++
+		cur.upperKey = e.key
+		if cur.total >= depth && len(h.buckets) < maxBuckets-1 {
+			h.buckets = append(h.buckets, cur)
+			cur = bucket{}
+		}
+	}
+	if cur.paths > 0 {
+		h.buckets = append(h.buckets, cur)
+	}
+	return h, nil
+}
+
+// denominatorOf returns |paths_k(G)| when the index computed it, falling
+// back to the total entry count (an upper bound on distinct pairs) when
+// the index was built with SkipPathsKCount.
+func denominatorOf(ix *pathindex.Index, total int) float64 {
+	if d := ix.PathsKCount(); d > 0 {
+		return float64(d)
+	}
+	if total > 0 {
+		return float64(total)
+	}
+	return 1
+}
+
+// Buckets returns the number of buckets (0 in exact mode).
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// NumPaths returns the number of label paths summarized.
+func (h *Histogram) NumPaths() int { return h.numPaths }
+
+// TotalCount returns the summed pair count over all label paths.
+func (h *Histogram) TotalCount() int { return h.totalCount }
+
+// Denominator returns the selectivity denominator |paths_k(G)|.
+func (h *Histogram) Denominator() float64 { return h.denominator }
+
+// EstimateCount estimates |p(G)|.
+func (h *Histogram) EstimateCount(p pathindex.Path) float64 {
+	key := p.Key()
+	if h.exact != nil {
+		return float64(h.exact[key])
+	}
+	if len(h.buckets) == 0 {
+		return 0
+	}
+	i := sort.Search(len(h.buckets), func(i int) bool { return h.buckets[i].upperKey >= key })
+	if i == len(h.buckets) {
+		i = len(h.buckets) - 1 // clamp beyond-range lookups to the last bucket
+	}
+	b := h.buckets[i]
+	return float64(b.total) / float64(b.paths)
+}
+
+// Selectivity estimates the fraction of paths_k(G) satisfying p — the
+// paper's sel_{G,k}(p).
+func (h *Histogram) Selectivity(p pathindex.Path) float64 {
+	return h.EstimateCount(p) / h.denominator
+}
+
+// FootprintBytes approximates the memory footprint, for the ablation
+// tables comparing bucket counts against exact statistics.
+func (h *Histogram) FootprintBytes() int {
+	if h.exact != nil {
+		n := 0
+		for k := range h.exact {
+			n += len(k) + 8
+		}
+		return n
+	}
+	n := 0
+	for _, b := range h.buckets {
+		n += len(b.upperKey) + 16
+	}
+	return n
+}

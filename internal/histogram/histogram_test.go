@@ -1,0 +1,222 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+)
+
+func buildIndex(t testing.TB, seed int64, nodes, edges, labels, k int) *pathindex.Index {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	g.EnsureNodes(nodes)
+	names := []string{"a", "b", "c", "d"}
+	for l := 0; l < labels; l++ {
+		lid := g.Label(names[l])
+		for e := 0; e < edges; e++ {
+			g.AddEdgeID(graph.NodeID(r.Intn(nodes)), lid, graph.NodeID(r.Intn(nodes)))
+		}
+	}
+	g.Freeze()
+	ix, err := pathindex.Build(g, k, pathindex.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestExactMatchesIndexCounts(t *testing.T) {
+	ix := buildIndex(t, 1, 25, 60, 2, 2)
+	h := BuildExact(ix)
+	ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
+		if got := h.EstimateCount(p); got != float64(count) {
+			t.Errorf("path %v: exact estimate %.1f, want %d", p, got, count)
+		}
+	})
+	if h.NumPaths() == 0 {
+		t.Fatal("no paths summarized")
+	}
+	// Unknown path estimates to zero in exact mode.
+	if got := h.EstimateCount(pathindex.Path{graph.DirLabel(999)}); got != 0 {
+		t.Errorf("unknown path exact estimate = %f", got)
+	}
+}
+
+func TestEquiDepthSingleBucket(t *testing.T) {
+	ix := buildIndex(t, 2, 20, 50, 2, 2)
+	h, err := BuildEquiDepth(ix, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 1 {
+		t.Fatalf("got %d buckets, want 1", h.Buckets())
+	}
+	// Every estimate is the global average.
+	want := float64(h.TotalCount()) / float64(h.NumPaths())
+	ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
+		if got := h.EstimateCount(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("single-bucket estimate %.2f, want %.2f", got, want)
+		}
+	})
+}
+
+func TestEquiDepthRespectsBucketCount(t *testing.T) {
+	ix := buildIndex(t, 3, 30, 80, 3, 2)
+	for _, b := range []int{1, 2, 4, 8, 64, 100000} {
+		h, err := BuildEquiDepth(ix, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Buckets() > b {
+			t.Errorf("maxBuckets=%d produced %d buckets", b, h.Buckets())
+		}
+		if h.Buckets() > h.NumPaths() {
+			t.Errorf("more buckets (%d) than paths (%d)", h.Buckets(), h.NumPaths())
+		}
+	}
+	if _, err := BuildEquiDepth(ix, 0); err == nil {
+		t.Error("bucket count 0 should error")
+	}
+}
+
+func TestManyBucketsApproachesExact(t *testing.T) {
+	ix := buildIndex(t, 4, 25, 70, 2, 2)
+	h, err := BuildEquiDepth(ix, 1<<20) // effectively one path per bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := BuildExact(ix)
+	ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
+		if got, want := h.EstimateCount(p), exact.EstimateCount(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("path %v: fine-grained %.2f vs exact %.2f", p, got, want)
+		}
+	})
+}
+
+// TestQuickBucketMassConservation: bucket totals sum to the total pair
+// count and estimates are always positive for indexed paths.
+func TestQuickBucketMassConservation(t *testing.T) {
+	f := func(seed int64, rawBuckets uint8) bool {
+		buckets := int(rawBuckets%32) + 1
+		ix := buildIndex(t, seed, 15, 30, 2, 2)
+		h, err := BuildEquiDepth(ix, buckets)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		ok := true
+		ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
+			est := h.EstimateCount(p)
+			if est <= 0 && count > 0 {
+				ok = false
+			}
+			sum += est
+		})
+		// Sum of estimates equals total count (each bucket's average is
+		// returned bucket.paths times).
+		return ok && math.Abs(sum-float64(h.TotalCount())) < 1e-6*float64(h.TotalCount()+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	ix := buildIndex(t, 5, 20, 40, 2, 2)
+	h := BuildExact(ix)
+	if h.Denominator() != float64(ix.PathsKCount()) {
+		t.Fatalf("denominator %.0f, want %d", h.Denominator(), ix.PathsKCount())
+	}
+	ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
+		want := float64(count) / float64(ix.PathsKCount())
+		if got := h.Selectivity(p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("selectivity %v = %g, want %g", p, got, want)
+		}
+		if got := h.Selectivity(p); got < 0 || got > 1 {
+			t.Errorf("selectivity out of [0,1]: %g", got)
+		}
+	})
+}
+
+func TestSection32Example(t *testing.T) {
+	// The paper: sel_{Gex,2}(supervisor ∘ knows) is tiny — one pair out
+	// of |paths₂(Gex)|. On the reconstructed Gex the exact value is
+	// |sup∘knows(Gex)| / |paths₂(Gex)|; we assert the structural facts:
+	// the pair set is small and the selectivity equals count/denominator.
+	g := graph.ExampleGraph()
+	ix, err := pathindex.Build(g, 2, pathindex.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, _ := g.LookupLabel("supervisor")
+	knows, _ := g.LookupLabel("knows")
+	p := pathindex.Path{graph.Fwd(sup), graph.Fwd(knows)}
+	h := BuildExact(ix)
+	sel := h.Selectivity(p)
+	count := ix.Count(p)
+	if want := float64(count) / float64(ix.PathsKCount()); math.Abs(sel-want) > 1e-12 {
+		t.Errorf("sel = %g, want %g", sel, want)
+	}
+	if sel > 0.1 {
+		t.Errorf("supervisor∘knows should be highly selective, got %g", sel)
+	}
+	t.Logf("Gex: |supervisor∘knows| = %d, |paths₂| = %d, sel = %.4f", count, ix.PathsKCount(), sel)
+}
+
+func TestDenominatorFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := graph.New()
+	g.EnsureNodes(10)
+	l := g.Label("a")
+	for e := 0; e < 20; e++ {
+		g.AddEdgeID(graph.NodeID(r.Intn(10)), l, graph.NodeID(r.Intn(10)))
+	}
+	g.Freeze()
+	ix, err := pathindex.Build(g, 2, pathindex.BuildOptions{SkipPathsKCount: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := BuildExact(ix)
+	if h.Denominator() != float64(h.TotalCount()) {
+		t.Errorf("fallback denominator %.0f, want total count %d", h.Denominator(), h.TotalCount())
+	}
+}
+
+func TestFootprintShrinksWithFewerBuckets(t *testing.T) {
+	ix := buildIndex(t, 8, 30, 90, 3, 3)
+	small, err := BuildEquiDepth(ix, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := BuildExact(ix)
+	if small.FootprintBytes() >= exact.FootprintBytes() {
+		t.Errorf("4-bucket footprint %d >= exact footprint %d",
+			small.FootprintBytes(), exact.FootprintBytes())
+	}
+}
+
+func TestEmptyIndexHistogram(t *testing.T) {
+	g := graph.New()
+	g.Label("a") // label with no edges
+	g.EnsureNodes(3)
+	g.Freeze()
+	ix, err := pathindex.Build(g, 2, pathindex.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := BuildEquiDepth(ix, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EstimateCount(pathindex.Path{graph.Fwd(0)}); got != 0 {
+		t.Errorf("estimate on empty index = %g", got)
+	}
+	if sel := h.Selectivity(pathindex.Path{graph.Fwd(0)}); sel != 0 {
+		t.Errorf("selectivity on empty index = %g", sel)
+	}
+}

@@ -1,0 +1,339 @@
+package pathindex
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/graph"
+)
+
+// Pair is a (source, target) node pair in some path relation.
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+// packed encodes a pair into a single comparable word whose natural order
+// is (src, dst).
+type packed uint64
+
+func pack(src, dst graph.NodeID) packed { return packed(src)<<32 | packed(dst) }
+
+func (p packed) src() graph.NodeID { return graph.NodeID(p >> 32) }
+func (p packed) dst() graph.NodeID { return graph.NodeID(p & 0xffffffff) }
+func (p packed) swap() packed      { return pack(p.dst(), p.src()) }
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// MaxEntries aborts the build when the total number of index entries
+	// would exceed it. Zero means no limit.
+	MaxEntries int
+	// NoDerivedInverses disables deriving p⁻ relations by swapping p's
+	// pairs, recomputing them by composition instead. The results are
+	// identical; the flag exists for the ablation benchmarks.
+	NoDerivedInverses bool
+	// SkipPathsKCount skips computing |paths_k(G)| (the selectivity
+	// denominator), leaving PathsKCount at zero. Useful when only scans
+	// are needed.
+	SkipPathsKCount bool
+}
+
+// BuildStats records index construction metrics (the Ext-1 experiment).
+type BuildStats struct {
+	Entries       int           // total ⟨path,src,dst⟩ entries
+	LabelPaths    int           // number of distinct label paths with non-empty relations
+	PathsKCount   int           // |paths_k(G)| including the identity 0-paths
+	Duration      time.Duration // wall-clock build time
+	DerivedPaths  int           // relations derived from their inverse by swapping
+	ComposedPairs int           // raw pairs produced by composition before dedup
+}
+
+// Index is the k-path index I_{G,k}.
+type Index struct {
+	g     *graph.Graph
+	k     int
+	tree  *btree.Tree
+	paths []Path            // path id -> path
+	ids   map[string]uint32 // Path.Key() -> path id
+	count []int             // path id -> |p(G)|
+	stats BuildStats
+}
+
+// Build constructs I_{G,k} for the frozen graph g. k must be at least 1.
+func Build(g *graph.Graph, k int, opts BuildOptions) (*Index, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("pathindex: graph must be frozen")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("pathindex: k must be >= 1, got %d", k)
+	}
+	start := time.Now()
+	ix := &Index{g: g, k: k, ids: map[string]uint32{}}
+
+	dirs := g.DirLabels()
+
+	// relations[i] is the pair set of path ix.paths[i], sorted by packed
+	// order (src, dst); only the previous level is needed for extension,
+	// but counts and tree entries accumulate for all levels.
+	var relations [][]packed
+	totalEntries := 0
+
+	addPath := func(p Path, rel []packed) uint32 {
+		id := uint32(len(ix.paths))
+		ix.paths = append(ix.paths, p)
+		ix.ids[p.Key()] = id
+		ix.count = append(ix.count, len(rel))
+		relations = append(relations, rel)
+		totalEntries += len(rel)
+		return id
+	}
+
+	// Level 1: base relations straight from the graph's CSR adjacency.
+	levelStart := 0
+	for _, d := range dirs {
+		rel := baseRelation(g, d)
+		if len(rel) == 0 {
+			continue
+		}
+		addPath(Path{d}, rel)
+	}
+	if opts.MaxEntries > 0 && totalEntries > opts.MaxEntries {
+		return nil, fmt.Errorf("pathindex: index would exceed %d entries at k=1", opts.MaxEntries)
+	}
+
+	// Levels 2..k: extend every previous-level relation by every
+	// direction-qualified label.
+	for level := 2; level <= k; level++ {
+		levelEnd := len(ix.paths)
+		for pid := levelStart; pid < levelEnd; pid++ {
+			base := ix.paths[pid]
+			baseRel := relations[pid]
+			for _, d := range dirs {
+				p := append(append(Path{}, base...), d)
+				if _, dup := ix.ids[p.Key()]; dup {
+					continue
+				}
+				// Derive from the inverse relation when available.
+				if !opts.NoDerivedInverses {
+					if invID, ok := ix.ids[p.Inverse().Key()]; ok {
+						rel := swapRelation(relations[invID])
+						addPath(p, rel)
+						ix.stats.DerivedPaths++
+						continue
+					}
+				}
+				rel := compose(g, baseRel, d, &ix.stats)
+				if len(rel) == 0 {
+					continue
+				}
+				addPath(p, rel)
+				if opts.MaxEntries > 0 && totalEntries > opts.MaxEntries {
+					return nil, fmt.Errorf("pathindex: index would exceed %d entries at k=%d", opts.MaxEntries, level)
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+
+	// Bulk-load the ordered dictionary. Path IDs were assigned in
+	// enumeration order and every relation is sorted, so concatenating
+	// yields globally sorted keys.
+	keys := make([]btree.Key, 0, totalEntries)
+	for pid, rel := range relations {
+		for _, pr := range rel {
+			keys = append(keys, btree.Key{Path: uint32(pid), Src: uint32(pr.src()), Dst: uint32(pr.dst())})
+		}
+	}
+	ix.tree = btree.BulkLoad(keys)
+
+	ix.stats.Entries = totalEntries
+	ix.stats.LabelPaths = len(ix.paths)
+	if !opts.SkipPathsKCount {
+		ix.stats.PathsKCount = countDistinctPairs(relations, g.NumNodes())
+	}
+	ix.stats.Duration = time.Since(start)
+	return ix, nil
+}
+
+// baseRelation returns the sorted, deduplicated pair list of a single
+// direction-qualified label.
+func baseRelation(g *graph.Graph, d graph.DirLabel) []packed {
+	if !d.IsInverse() {
+		es := g.Edges(d.Label())
+		rel := make([]packed, len(es))
+		for i, e := range es {
+			rel[i] = pack(e.Src, e.Dst)
+		}
+		return rel // already sorted and deduplicated by Freeze
+	}
+	var rel []packed
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, t := range g.Out(graph.NodeID(n), d) {
+			rel = append(rel, pack(graph.NodeID(n), t))
+		}
+	}
+	return rel // node-major iteration over sorted adjacency keeps order
+}
+
+// compose returns the sorted, deduplicated relation of p∘d given the
+// relation of p.
+func compose(g *graph.Graph, rel []packed, d graph.DirLabel, stats *BuildStats) []packed {
+	var out []packed
+	for _, pr := range rel {
+		a, b := pr.src(), pr.dst()
+		for _, c := range g.Out(b, d) {
+			out = append(out, pack(a, c))
+		}
+	}
+	stats.ComposedPairs += len(out)
+	return sortDedup(out)
+}
+
+// swapRelation returns the relation with all pairs swapped, re-sorted.
+func swapRelation(rel []packed) []packed {
+	out := make([]packed, len(rel))
+	for i, pr := range rel {
+		out[i] = pr.swap()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortDedup(rel []packed) []packed {
+	if len(rel) == 0 {
+		return nil
+	}
+	sort.Slice(rel, func(i, j int) bool { return rel[i] < rel[j] })
+	out := rel[:1]
+	for _, pr := range rel[1:] {
+		if pr != out[len(out)-1] {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// countDistinctPairs computes |paths_k(G)|: the number of distinct node
+// pairs related by any indexed label path, plus the identity pairs (the
+// paper's 0-paths, Section 2.1).
+func countDistinctPairs(relations [][]packed, numNodes int) int {
+	total := 0
+	for _, rel := range relations {
+		total += len(rel)
+	}
+	all := make([]packed, 0, total+numNodes)
+	for _, rel := range relations {
+		all = append(all, rel...)
+	}
+	for n := 0; n < numNodes; n++ {
+		all = append(all, pack(graph.NodeID(n), graph.NodeID(n)))
+	}
+	return len(sortDedup(all))
+}
+
+// K returns the index locality parameter.
+func (ix *Index) K() int { return ix.k }
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Stats returns build statistics.
+func (ix *Index) Stats() BuildStats { return ix.stats }
+
+// NumEntries returns the total number of ⟨path,src,dst⟩ entries.
+func (ix *Index) NumEntries() int { return ix.stats.Entries }
+
+// NumLabelPaths returns the number of label paths with non-empty
+// relations.
+func (ix *Index) NumLabelPaths() int { return len(ix.paths) }
+
+// PathsKCount returns |paths_k(G)|, the selectivity denominator.
+func (ix *Index) PathsKCount() int { return ix.stats.PathsKCount }
+
+// PathID returns the identifier of p, if p has a non-empty relation.
+func (ix *Index) PathID(p Path) (uint32, bool) {
+	id, ok := ix.ids[p.Key()]
+	return id, ok
+}
+
+// PathByID returns the label path with the given identifier.
+func (ix *Index) PathByID(id uint32) Path { return ix.paths[id] }
+
+// Count returns |p(G)|. Unknown paths (including paths longer than k)
+// have count 0; use len(p) <= K() to distinguish "empty" from
+// "not indexed".
+func (ix *Index) Count(p Path) int {
+	if id, ok := ix.ids[p.Key()]; ok {
+		return ix.count[id]
+	}
+	return 0
+}
+
+// CountByID returns |p(G)| for a known path id.
+func (ix *Index) CountByID(id uint32) int { return ix.count[id] }
+
+// AllPaths invokes fn for every indexed label path in id order with its
+// pair count. Used by the histogram builder.
+func (ix *Index) AllPaths(fn func(id uint32, p Path, count int)) {
+	for id, p := range ix.paths {
+		fn(uint32(id), p, ix.count[id])
+	}
+}
+
+// PairIterator streams the pairs of one label path in (src,dst) order.
+type PairIterator struct {
+	it       *btree.Iterator
+	pathID   uint32
+	limit    btree.Key
+	hasLimit bool
+	empty    bool
+}
+
+// Next returns the next pair, with ok=false at exhaustion.
+func (pi *PairIterator) Next() (Pair, bool) {
+	if pi.empty {
+		return Pair{}, false
+	}
+	k, ok := pi.it.Next()
+	if !ok || k.Path != pi.pathID || (pi.hasLimit && !k.Less(pi.limit)) {
+		return Pair{}, false
+	}
+	return Pair{Src: graph.NodeID(k.Src), Dst: graph.NodeID(k.Dst)}, true
+}
+
+// Scan returns an iterator over p(G) in (src,dst) order. Scanning an
+// unindexed path yields an empty iterator. This is the paper's
+// I_{G,k}(⟨p⟩) prefix lookup.
+func (ix *Index) Scan(p Path) *PairIterator {
+	id, ok := ix.ids[p.Key()]
+	if !ok {
+		return &PairIterator{empty: true}
+	}
+	return &PairIterator{it: ix.tree.Seek(btree.Key{Path: id}), pathID: id}
+}
+
+// ScanFrom returns an iterator over the pairs of p with Src == src, in
+// dst order: the paper's I_{G,k}(⟨p, a⟩) prefix lookup.
+func (ix *Index) ScanFrom(p Path, src graph.NodeID) *PairIterator {
+	id, ok := ix.ids[p.Key()]
+	if !ok {
+		return &PairIterator{empty: true}
+	}
+	return &PairIterator{
+		it:       ix.tree.Seek(btree.Key{Path: id, Src: uint32(src)}),
+		pathID:   id,
+		limit:    btree.Key{Path: id, Src: uint32(src) + 1},
+		hasLimit: true,
+	}
+}
+
+// Contains reports whether (src,dst) ∈ p(G): the paper's full-key
+// I_{G,k}(⟨p, a, b⟩) lookup.
+func (ix *Index) Contains(p Path, src, dst graph.NodeID) bool {
+	id, ok := ix.ids[p.Key()]
+	if !ok {
+		return false
+	}
+	return ix.tree.Contains(btree.Key{Path: id, Src: uint32(src), Dst: uint32(dst)})
+}

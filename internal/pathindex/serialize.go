@@ -1,0 +1,287 @@
+package pathindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/btree"
+	"repro/internal/graph"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   "PIDX"
+//	version u32 (currently 1)
+//	k       u32
+//	labels  u32, then per label: u32 name length + name bytes
+//	paths   u32, then per path: u32 length + length×u32 DirLabel
+//	counts  per path: u64 pair count
+//	pathsK  u64 (|paths_k(G)|; 0 when skipped at build)
+//	entries u64, then per entry: u32 pathID, u32 src, u32 dst,
+//	        in ascending key order
+//	trailer "XDIP"
+//
+// The label table makes a saved index self-describing: Load verifies it
+// against the graph it is being attached to, so an index cannot silently
+// be used with a graph whose label interning differs.
+const (
+	magic      = "PIDX"
+	trailer    = "XDIP"
+	curVersion = 1
+)
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	writeBytes := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+
+	if err := writeBytes([]byte(magic)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(curVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(ix.k)); err != nil {
+		return n, err
+	}
+	labels := ix.g.Labels()
+	if err := write(uint32(len(labels))); err != nil {
+		return n, err
+	}
+	for _, name := range labels {
+		if err := write(uint32(len(name))); err != nil {
+			return n, err
+		}
+		if err := writeBytes([]byte(name)); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint32(len(ix.paths))); err != nil {
+		return n, err
+	}
+	for _, p := range ix.paths {
+		if err := write(uint32(len(p))); err != nil {
+			return n, err
+		}
+		for _, d := range p {
+			if err := write(uint32(d)); err != nil {
+				return n, err
+			}
+		}
+	}
+	for _, c := range ix.count {
+		if err := write(uint64(c)); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(ix.stats.PathsKCount)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(ix.stats.Entries)); err != nil {
+		return n, err
+	}
+	written := 0
+	for pid := range ix.paths {
+		it := ix.Scan(ix.paths[pid])
+		for {
+			pr, ok := it.Next()
+			if !ok {
+				break
+			}
+			if err := write(uint32(pid)); err != nil {
+				return n, err
+			}
+			if err := write(uint32(pr.Src)); err != nil {
+				return n, err
+			}
+			if err := write(uint32(pr.Dst)); err != nil {
+				return n, err
+			}
+			written++
+		}
+	}
+	if written != ix.stats.Entries {
+		return n, fmt.Errorf("pathindex: serialized %d entries, index reports %d", written, ix.stats.Entries)
+	}
+	if err := writeBytes([]byte(trailer)); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// Save writes the index to a file.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFrom deserializes an index previously produced by WriteTo and
+// attaches it to g, which must be the same graph the index was built
+// from (verified via the label table; node identity is the caller's
+// responsibility, as node names are not stored in the index).
+func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("pathindex: graph must be frozen")
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	read := func(data any) error { return binary.Read(br, binary.LittleEndian, data) }
+
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("pathindex: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("pathindex: bad magic %q", head)
+	}
+	var version, k, numLabels uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != curVersion {
+		return nil, fmt.Errorf("pathindex: unsupported version %d (want %d)", version, curVersion)
+	}
+	if err := read(&k); err != nil {
+		return nil, err
+	}
+	if err := read(&numLabels); err != nil {
+		return nil, err
+	}
+	if int(numLabels) != g.NumLabels() {
+		return nil, fmt.Errorf("pathindex: index has %d labels, graph has %d", numLabels, g.NumLabels())
+	}
+	for i := 0; i < int(numLabels); i++ {
+		var nameLen uint32
+		if err := read(&nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<20 {
+			return nil, fmt.Errorf("pathindex: implausible label name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		if g.LabelName(graph.LabelID(i)) != string(name) {
+			return nil, fmt.Errorf("pathindex: label %d is %q in index, %q in graph", i, name, g.LabelName(graph.LabelID(i)))
+		}
+	}
+
+	ix := &Index{g: g, k: int(k), ids: map[string]uint32{}}
+	var numPaths uint32
+	if err := read(&numPaths); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(numPaths); i++ {
+		var plen uint32
+		if err := read(&plen); err != nil {
+			return nil, err
+		}
+		if int(plen) > int(k) || plen == 0 {
+			return nil, fmt.Errorf("pathindex: path %d has length %d, k=%d", i, plen, k)
+		}
+		p := make(Path, plen)
+		for j := range p {
+			var d uint32
+			if err := read(&d); err != nil {
+				return nil, err
+			}
+			if int(graph.DirLabel(d).Label()) >= g.NumLabels() {
+				return nil, fmt.Errorf("pathindex: path %d references unknown label %d", i, graph.DirLabel(d).Label())
+			}
+			p[j] = graph.DirLabel(d)
+		}
+		ix.paths = append(ix.paths, p)
+		ix.ids[p.Key()] = uint32(i)
+	}
+	ix.count = make([]int, numPaths)
+	for i := range ix.count {
+		var c uint64
+		if err := read(&c); err != nil {
+			return nil, err
+		}
+		ix.count[i] = int(c)
+	}
+	var pathsK, numEntries uint64
+	if err := read(&pathsK); err != nil {
+		return nil, err
+	}
+	if err := read(&numEntries); err != nil {
+		return nil, err
+	}
+	keys := make([]btree.Key, numEntries)
+	for i := range keys {
+		var pid, src, dst uint32
+		if err := read(&pid); err != nil {
+			return nil, fmt.Errorf("pathindex: entry %d: %w", i, err)
+		}
+		if err := read(&src); err != nil {
+			return nil, err
+		}
+		if err := read(&dst); err != nil {
+			return nil, err
+		}
+		if pid >= numPaths {
+			return nil, fmt.Errorf("pathindex: entry %d references path %d of %d", i, pid, numPaths)
+		}
+		keys[i] = btree.Key{Path: pid, Src: src, Dst: dst}
+		if i > 0 && !keys[i-1].Less(keys[i]) {
+			return nil, fmt.Errorf("pathindex: entries out of order at %d", i)
+		}
+	}
+	tail := make([]byte, 4)
+	if _, err := io.ReadFull(br, tail); err != nil {
+		return nil, fmt.Errorf("pathindex: reading trailer: %w", err)
+	}
+	if string(tail) != trailer {
+		return nil, fmt.Errorf("pathindex: bad trailer %q (truncated file?)", tail)
+	}
+	ix.tree = btree.BulkLoad(keys)
+	ix.stats = BuildStats{
+		Entries:     int(numEntries),
+		LabelPaths:  int(numPaths),
+		PathsKCount: int(pathsK),
+	}
+	// Per-path counts must be consistent with the entries.
+	perPath := make([]int, numPaths)
+	for _, key := range keys {
+		perPath[key.Path]++
+	}
+	for i, want := range ix.count {
+		if perPath[i] != want {
+			return nil, fmt.Errorf("pathindex: path %d has %d entries, header claims %d", i, perPath[i], want)
+		}
+	}
+	return ix, nil
+}
+
+// Load reads an index from a file and attaches it to g.
+func Load(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f, g)
+}

@@ -1,0 +1,101 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+)
+
+func longPath(n int) pathindex.Path {
+	d := make(pathindex.Path, n)
+	for i := range d {
+		d[i] = graph.Fwd(graph.LabelID(i % 2))
+	}
+	return d
+}
+
+func TestMinJoinLongDisjunctFallsBack(t *testing.T) {
+	// 60 steps at k=2: compositions of 60 into 30 parts ≤2 is
+	// astronomically large; the guard must kick in and planning must
+	// stay fast while keeping segments minimal.
+	pl := newPlanner(2, fakeEstimator{def: 10})
+	d := longPath(60)
+	start := time.Now()
+	p, err := pl.PlanPaths([]pathindex.Path{d}, false, MinJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("minJoin took %v on a 60-step disjunct", el)
+	}
+	segmentsCover(t, p.Disjuncts[0], d)
+	if got, want := len(leaves(p.Disjuncts[0])), 30; got != want {
+		t.Errorf("got %d segments, want the minimal %d", got, want)
+	}
+}
+
+func TestMinSupportLongDisjunct(t *testing.T) {
+	pl := newPlanner(3, fakeEstimator{def: 10})
+	d := longPath(90)
+	start := time.Now()
+	p, err := pl.PlanPaths([]pathindex.Path{d}, false, MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("minSupport took %v on a 90-step disjunct", el)
+	}
+	segmentsCover(t, p.Disjuncts[0], d)
+}
+
+func TestCountCompositions(t *testing.T) {
+	cases := []struct {
+		n, m, k int
+		want    int
+	}{
+		{4, 2, 3, 3},  // 1+3, 2+2, 3+1
+		{6, 2, 3, 1},  // 3+3 only
+		{3, 3, 3, 1},  // 1+1+1
+		{5, 2, 3, 2},  // 2+3, 3+2
+		{2, 2, 1, 1},  // 1+1
+		{10, 2, 3, 0}, // impossible
+	}
+	for _, c := range cases {
+		if got := countCompositions(c.n, c.m, c.k); got != c.want {
+			t.Errorf("countCompositions(%d,%d,%d) = %d, want %d", c.n, c.m, c.k, got, c.want)
+		}
+	}
+	// n = m·k admits exactly one composition (all parts k).
+	if got := countCompositions(60, 30, 2); got != 1 {
+		t.Errorf("countCompositions(60,30,2) = %d, want 1", got)
+	}
+	// With the minimal part count m = ⌈n/k⌉ the space is ~m^(k-1):
+	// saturation needs a large deficit spread over many parts.
+	if got := countCompositions(296, 60, 5); got <= maxSegmentations {
+		t.Errorf("countCompositions(296,60,5) = %d, expected saturation", got)
+	}
+}
+
+func TestOptimalTreeFallbackChain(t *testing.T) {
+	// More than maxDPSegments segments: optimalTree must produce a
+	// left-to-right chain rather than running the cubic DP.
+	pl := newPlanner(1, fakeEstimator{def: 5})
+	segs := make([]pathindex.Path, maxDPSegments+4)
+	for i := range segs {
+		segs[i] = pathindex.Path{graph.Fwd(0)}
+	}
+	node := pl.optimalTree(segs)
+	if got := len(leaves(node)); got != len(segs) {
+		t.Fatalf("leaves = %d, want %d", got, len(segs))
+	}
+	// Left-deep: every right child is a scan.
+	j, ok := node.(*Join)
+	for ok {
+		if _, isScan := j.Right.(*Scan); !isScan {
+			t.Fatal("fallback chain is not left-deep")
+		}
+		j, ok = j.Left.(*Join)
+	}
+}

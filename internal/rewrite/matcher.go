@@ -1,0 +1,117 @@
+package rewrite
+
+import "repro/internal/rpq"
+
+// Matches reports whether the word (a sequence of steps) belongs to the
+// regular language of e. It is an independent reference implementation —
+// a straightforward backtracking matcher over the AST — used by tests to
+// validate Normalize: every disjunct produced by Normalize must match, and
+// every short word that matches must appear among the disjuncts.
+//
+// Unbounded repetitions are matched natively (no star bound needed): a
+// word of length n can never require more than n+1 iterations of a
+// repetition body, because empty iterations contribute nothing.
+func Matches(e rpq.Expr, word []rpq.Step) bool {
+	ends := matchFrom(e, word, 0)
+	for _, end := range ends {
+		if end == len(word) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchFrom returns the distinct positions reachable by matching e
+// against word starting at pos.
+func matchFrom(e rpq.Expr, word []rpq.Step, pos int) []int {
+	switch v := e.(type) {
+	case rpq.Epsilon:
+		return []int{pos}
+	case rpq.Step:
+		if pos < len(word) && word[pos] == v {
+			return []int{pos + 1}
+		}
+		return nil
+	case rpq.Union:
+		set := map[int]bool{}
+		for _, a := range v.Alts {
+			for _, end := range matchFrom(a, word, pos) {
+				set[end] = true
+			}
+		}
+		return keys(set)
+	case rpq.Concat:
+		current := map[int]bool{pos: true}
+		for _, part := range v.Parts {
+			next := map[int]bool{}
+			for p := range current {
+				for _, end := range matchFrom(part, word, p) {
+					next[end] = true
+				}
+			}
+			if len(next) == 0 {
+				return nil
+			}
+			current = next
+		}
+		return keys(current)
+	case rpq.Repeat:
+		// frontier holds positions reachable after exactly i iterations.
+		frontier := map[int]bool{pos: true}
+		result := map[int]bool{}
+		if v.Min == 0 {
+			result[pos] = true
+		}
+		maxIter := v.Max
+		if maxIter == rpq.Unbounded {
+			// len(word)-pos+1 iterations suffice: each productive
+			// iteration consumes at least one symbol, and repeating
+			// ε-only iterations reaches no new positions.
+			maxIter = len(word) - pos + 1
+			if maxIter < v.Min {
+				maxIter = v.Min
+			}
+		}
+		for i := 1; i <= maxIter; i++ {
+			next := map[int]bool{}
+			for p := range frontier {
+				for _, end := range matchFrom(v.Sub, word, p) {
+					next[end] = true
+				}
+			}
+			if len(next) == 0 {
+				break
+			}
+			// Stop early if the frontier stopped growing (pure ε loops).
+			same := len(next) == len(frontier)
+			if same {
+				for p := range next {
+					if !frontier[p] {
+						same = false
+						break
+					}
+				}
+			}
+			frontier = next
+			if i >= v.Min {
+				for p := range frontier {
+					result[p] = true
+				}
+			}
+			if same && i >= v.Min {
+				break
+			}
+		}
+		return keys(result)
+	default:
+		return nil
+	}
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

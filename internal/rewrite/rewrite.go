@@ -1,0 +1,283 @@
+// Package rewrite implements the first two steps of RPQ processing from
+// Fletcher, Peters & Poulovassilis (EDBT 2016), Section 4: bounded
+// recursion is expanded into unions of compositions, and all unions are
+// pulled up to the top level, producing a semantically equivalent query
+// that is a union of label paths (plus possibly the identity ε).
+//
+// Expansion is exponential in the worst case, so Normalize enforces
+// configurable limits on the number of disjuncts and on path length and
+// fails cleanly when a query exceeds them.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rpq"
+)
+
+// Path is a label path: a non-empty sequence of forward or inverse label
+// steps. The empty Path represents ε inside this package's computations
+// but is never returned as a disjunct (see Normal.HasEpsilon).
+type Path []rpq.Step
+
+// String renders the path in parser syntax, e.g. "knows/worksFor^-".
+func (p Path) String() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "/")
+}
+
+// Key returns a canonical map key for the path.
+func (p Path) Key() string { return p.String() }
+
+// Inverse returns the inverse path p⁻: the reversed sequence with each
+// step's direction flipped, so that (a,b) ∈ p(G) iff (b,a) ∈ p⁻(G). For
+// example (ℓ1∘ℓ2)⁻ = ℓ2⁻∘ℓ1⁻.
+func (p Path) Inverse() Path {
+	inv := make(Path, len(p))
+	for i, s := range p {
+		inv[len(p)-1-i] = rpq.Step{Label: s.Label, Inverse: !s.Inverse}
+	}
+	return inv
+}
+
+// Equal reports whether p and q are the same step sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns the concatenation p ∘ q as a fresh path.
+func (p Path) Concat(q Path) Path {
+	out := make(Path, 0, len(p)+len(q))
+	out = append(out, p...)
+	out = append(out, q...)
+	return out
+}
+
+// Normal is a query in union normal form: a union of label-path disjuncts,
+// plus an optional ε disjunct. Disjuncts are deduplicated and sorted by
+// (length, text) for determinism.
+type Normal struct {
+	Paths      []Path
+	HasEpsilon bool
+}
+
+// TotalSteps returns the summed length of all disjuncts, a measure of the
+// expanded query size.
+func (n Normal) TotalSteps() int {
+	total := 0
+	for _, p := range n.Paths {
+		total += len(p)
+	}
+	return total
+}
+
+func (n Normal) String() string {
+	parts := make([]string, 0, len(n.Paths)+1)
+	if n.HasEpsilon {
+		parts = append(parts, "()")
+	}
+	for _, p := range n.Paths {
+		parts = append(parts, p.String())
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Options bounds the expansion.
+type Options struct {
+	// StarBound replaces the missing upper bound of unbounded repetitions
+	// (R*, R+, R{i,}). The paper (Section 2.2) observes that for every
+	// graph G there is an n(G) with R*(G) = R^{0,n(G)}(G); callers
+	// typically pass the node count or a diameter bound. Zero means
+	// unbounded repetitions are rejected.
+	StarBound int
+	// MaxDisjuncts caps the number of label-path disjuncts produced
+	// (after deduplication of intermediate results). Zero means the
+	// DefaultMaxDisjuncts limit.
+	MaxDisjuncts int
+	// MaxPathLength caps the length of any produced disjunct. Zero means
+	// the DefaultMaxPathLength limit.
+	MaxPathLength int
+}
+
+// Default expansion limits. They are generous for the workloads of the
+// paper (whose expansions are tiny) while stopping adversarial queries
+// like (a|b){20,20} from exhausting memory.
+const (
+	DefaultMaxDisjuncts  = 65536
+	DefaultMaxPathLength = 512
+)
+
+// A LimitError reports that expansion exceeded Options limits.
+type LimitError struct {
+	What  string
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("rewrite: expansion exceeds %s limit %d", e.What, e.Limit)
+}
+
+// pathSet is a deduplicated set of paths; the empty path represents ε.
+type pathSet struct {
+	paths []Path
+	seen  map[string]bool
+}
+
+func newPathSet() *pathSet { return &pathSet{seen: map[string]bool{}} }
+
+func (s *pathSet) add(p Path) {
+	k := p.Key()
+	if !s.seen[k] {
+		s.seen[k] = true
+		s.paths = append(s.paths, p)
+	}
+}
+
+// Normalize rewrites e into union normal form.
+func Normalize(e rpq.Expr, opts Options) (Normal, error) {
+	if err := rpq.Validate(e); err != nil {
+		return Normal{}, err
+	}
+	if opts.MaxDisjuncts == 0 {
+		opts.MaxDisjuncts = DefaultMaxDisjuncts
+	}
+	if opts.MaxPathLength == 0 {
+		opts.MaxPathLength = DefaultMaxPathLength
+	}
+	set, err := expand(e, opts)
+	if err != nil {
+		return Normal{}, err
+	}
+	var n Normal
+	for _, p := range set.paths {
+		if len(p) == 0 {
+			n.HasEpsilon = true
+			continue
+		}
+		n.Paths = append(n.Paths, p)
+	}
+	sort.Slice(n.Paths, func(i, j int) bool {
+		if len(n.Paths[i]) != len(n.Paths[j]) {
+			return len(n.Paths[i]) < len(n.Paths[j])
+		}
+		return n.Paths[i].Key() < n.Paths[j].Key()
+	})
+	return n, nil
+}
+
+func expand(e rpq.Expr, opts Options) (*pathSet, error) {
+	switch v := e.(type) {
+	case rpq.Epsilon:
+		s := newPathSet()
+		s.add(Path{})
+		return s, nil
+	case rpq.Step:
+		s := newPathSet()
+		s.add(Path{v})
+		return s, nil
+	case rpq.Union:
+		out := newPathSet()
+		for _, a := range v.Alts {
+			sub, err := expand(a, opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range sub.paths {
+				out.add(p)
+			}
+			if len(out.paths) > opts.MaxDisjuncts {
+				return nil, &LimitError{What: "disjunct", Limit: opts.MaxDisjuncts}
+			}
+		}
+		return out, nil
+	case rpq.Concat:
+		acc := newPathSet()
+		acc.add(Path{})
+		for _, part := range v.Parts {
+			sub, err := expand(part, opts)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = cross(acc, sub, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	case rpq.Repeat:
+		max := v.Max
+		if max == rpq.Unbounded {
+			if opts.StarBound <= 0 {
+				return nil, fmt.Errorf("rewrite: unbounded repetition %s requires a star bound (n(G))", e)
+			}
+			max = opts.StarBound
+			if max < v.Min {
+				max = v.Min
+			}
+		}
+		sub, err := expand(v.Sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		// power accumulates sub^i; out accumulates the union over
+		// i ∈ [Min, max].
+		power := newPathSet()
+		power.add(Path{})
+		out := newPathSet()
+		if v.Min == 0 {
+			out.add(Path{})
+		}
+		for i := 1; i <= max; i++ {
+			power, err = cross(power, sub, opts)
+			if err != nil {
+				return nil, err
+			}
+			if i >= v.Min {
+				for _, p := range power.paths {
+					out.add(p)
+				}
+				if len(out.paths) > opts.MaxDisjuncts {
+					return nil, &LimitError{What: "disjunct", Limit: opts.MaxDisjuncts}
+				}
+			}
+			// If sub can only produce ε, further powers add nothing.
+			if len(power.paths) == 1 && len(power.paths[0]) == 0 && i >= v.Min {
+				break
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("rewrite: unknown expression type %T", e)
+	}
+}
+
+// cross returns the pairwise concatenation of a and b under opts limits.
+func cross(a, b *pathSet, opts Options) (*pathSet, error) {
+	out := newPathSet()
+	for _, pa := range a.paths {
+		for _, pb := range b.paths {
+			p := pa.Concat(pb)
+			if len(p) > opts.MaxPathLength {
+				return nil, &LimitError{What: "path length", Limit: opts.MaxPathLength}
+			}
+			out.add(p)
+			if len(out.paths) > opts.MaxDisjuncts {
+				return nil, &LimitError{What: "disjunct", Limit: opts.MaxDisjuncts}
+			}
+		}
+	}
+	return out, nil
+}

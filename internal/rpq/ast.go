@@ -1,0 +1,247 @@
+// Package rpq defines the regular path query language of Fletcher, Peters
+// & Poulovassilis (EDBT 2016), Section 2.2: regular expressions over edge
+// labels and their inverses with identity (ε), composition, disjunction,
+// and bounded recursion R^{i,j}, plus the conventional Kleene operators
+// (*, +, ?) which the rewriter bounds by the graph-dependent constant n(G).
+//
+// The package provides the abstract syntax tree, a parser for a textual
+// syntax, a printer producing parseable output, and a seeded random query
+// generator used by property-based tests.
+package rpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unbounded marks a repetition with no upper bound, as in R{2,} or R*.
+const Unbounded = -1
+
+// Expr is a regular path query expression.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+	// precedence returns the binding strength used by String to insert
+	// minimal parentheses: union < concat < repeat/atom.
+	precedence() int
+}
+
+// Epsilon is the identity transition ε: it relates every node to itself.
+type Epsilon struct{}
+
+// Step is a single navigation along an edge label, forward (knows) or
+// backward (knows^-).
+type Step struct {
+	Label   string
+	Inverse bool
+}
+
+// Concat is the path composition R1 ∘ R2 ∘ … ∘ Rn, n ≥ 2.
+type Concat struct {
+	Parts []Expr
+}
+
+// Union is the path disjunction R1 ∪ R2 ∪ … ∪ Rn, n ≥ 2.
+type Union struct {
+	Alts []Expr
+}
+
+// Repeat is the bounded recursion R^{Min,Max}: between Min and Max
+// consecutive compositions of R. Max == Unbounded denotes no upper limit
+// (Kleene closure shapes); the rewriter replaces Unbounded by n(G) before
+// index-based evaluation.
+type Repeat struct {
+	Sub Expr
+	Min int
+	Max int
+}
+
+func (Epsilon) isExpr() {}
+func (Step) isExpr()    {}
+func (Concat) isExpr()  {}
+func (Union) isExpr()   {}
+func (Repeat) isExpr()  {}
+
+func (Epsilon) precedence() int { return 3 }
+func (Step) precedence() int    { return 3 }
+func (Concat) precedence() int  { return 1 }
+func (Union) precedence() int   { return 0 }
+func (Repeat) precedence() int  { return 2 }
+
+// String renders ε as "()".
+func (Epsilon) String() string { return "()" }
+
+func (s Step) String() string {
+	if s.Inverse {
+		return s.Label + "^-"
+	}
+	return s.Label
+}
+
+func (c Concat) String() string {
+	var b strings.Builder
+	for i, p := range c.Parts {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		// A concat directly inside a concat must keep its own parentheses
+		// or the reparse would flatten it into the parent.
+		if _, nested := p.(Concat); nested {
+			b.WriteByte('(')
+			b.WriteString(p.String())
+			b.WriteByte(')')
+			continue
+		}
+		writeChild(&b, p, c.precedence())
+	}
+	return b.String()
+}
+
+func (u Union) String() string {
+	var b strings.Builder
+	for i, a := range u.Alts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		// Parenthesize a directly nested union for the same reason as in
+		// Concat.String.
+		if _, nested := a.(Union); nested {
+			b.WriteByte('(')
+			b.WriteString(a.String())
+			b.WriteByte(')')
+			continue
+		}
+		writeChild(&b, a, u.precedence())
+	}
+	return b.String()
+}
+
+func (r Repeat) String() string {
+	var b strings.Builder
+	writeChild(&b, r.Sub, r.precedence())
+	switch {
+	case r.Min == 0 && r.Max == Unbounded:
+		b.WriteByte('*')
+	case r.Min == 1 && r.Max == Unbounded:
+		b.WriteByte('+')
+	case r.Min == 0 && r.Max == 1:
+		b.WriteByte('?')
+	case r.Max == Unbounded:
+		fmt.Fprintf(&b, "{%d,}", r.Min)
+	case r.Min == r.Max:
+		fmt.Fprintf(&b, "{%d}", r.Min)
+	default:
+		fmt.Fprintf(&b, "{%d,%d}", r.Min, r.Max)
+	}
+	return b.String()
+}
+
+// writeChild renders e, parenthesizing when its precedence is weaker than
+// the parent's.
+func writeChild(b *strings.Builder, e Expr, parentPrec int) {
+	if e.precedence() < parentPrec {
+		b.WriteByte('(')
+		b.WriteString(e.String())
+		b.WriteByte(')')
+		return
+	}
+	b.WriteString(e.String())
+}
+
+// Validate checks structural well-formedness: repetition bounds satisfy
+// 0 ≤ Min ≤ Max (unless Max is Unbounded), and n-ary nodes have at least
+// two children.
+func Validate(e Expr) error {
+	switch v := e.(type) {
+	case Epsilon:
+		return nil
+	case Step:
+		if v.Label == "" {
+			return fmt.Errorf("rpq: empty label in step")
+		}
+		return nil
+	case Concat:
+		if len(v.Parts) < 2 {
+			return fmt.Errorf("rpq: concat with %d parts", len(v.Parts))
+		}
+		for _, p := range v.Parts {
+			if err := Validate(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Union:
+		if len(v.Alts) < 2 {
+			return fmt.Errorf("rpq: union with %d alternatives", len(v.Alts))
+		}
+		for _, a := range v.Alts {
+			if err := Validate(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Repeat:
+		if v.Min < 0 {
+			return fmt.Errorf("rpq: repetition with negative lower bound %d", v.Min)
+		}
+		if v.Max != Unbounded && v.Max < v.Min {
+			return fmt.Errorf("rpq: repetition bounds {%d,%d} inverted", v.Min, v.Max)
+		}
+		return Validate(v.Sub)
+	case nil:
+		return fmt.Errorf("rpq: nil expression")
+	default:
+		return fmt.Errorf("rpq: unknown expression type %T", e)
+	}
+}
+
+// Labels returns the distinct label names mentioned in e, in first-seen
+// order.
+func Labels(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case Step:
+			if !seen[v.Label] {
+				seen[v.Label] = true
+				out = append(out, v.Label)
+			}
+		case Concat:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case Union:
+			for _, a := range v.Alts {
+				walk(a)
+			}
+		case Repeat:
+			walk(v.Sub)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// HasUnbounded reports whether e contains a repetition without an upper
+// bound (*, +, or {i,}).
+func HasUnbounded(e Expr) bool {
+	switch v := e.(type) {
+	case Concat:
+		for _, p := range v.Parts {
+			if HasUnbounded(p) {
+				return true
+			}
+		}
+	case Union:
+		for _, a := range v.Alts {
+			if HasUnbounded(a) {
+				return true
+			}
+		}
+	case Repeat:
+		return v.Max == Unbounded || HasUnbounded(v.Sub)
+	}
+	return false
+}

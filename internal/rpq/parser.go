@@ -1,0 +1,311 @@
+package rpq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses the textual RPQ syntax:
+//
+//	expr   := term ('|' term)*                 union
+//	term   := factor (('/' | '.') factor)*     composition
+//	factor := atom ('*' | '+' | '?' | '{' n (',' n?)? '}')*
+//	atom   := IDENT ['^-' | '-']               label, optionally inverted
+//	        | '(' expr ')'                     grouping
+//	        | '(' ')'                          epsilon
+//
+// Identifiers are letters, digits, and underscores, starting with a letter
+// or underscore. Whitespace is insignificant. Examples:
+//
+//	knows/worksFor^-           supervisor ∘ worksFor⁻ in paper notation
+//	(knows/worksFor){2,4}      bounded recursion
+//	knows|worksFor-            union with an inverse step (suffix '-')
+func Parse(input string) (Expr, error) {
+	p := &parser{input: input}
+	p.next()
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after complete query", p.tok)
+	}
+	if err := Validate(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and fixed
+// workload definitions.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokPipe   // |
+	tokSlash  // / or .
+	tokStar   // *
+	tokPlus   // +
+	tokOpt    // ?
+	tokLParen // (
+	tokRParen // )
+	tokLBrace // {
+	tokRBrace // }
+	tokComma  // ,
+	tokNumber
+	tokInvert // ^- or suffix -
+	tokError  // lexical error; never matches any grammar production
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type parser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("rpq: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n' || p.input[p.pos] == '\r') {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c, _ := utf8.DecodeRuneInString(p.input[p.pos:])
+	switch {
+	case c == '|':
+		p.pos++
+		p.tok = token{tokPipe, "|", start}
+	case c == '/' || c == '.':
+		p.pos++
+		p.tok = token{tokSlash, string(c), start}
+	case c == '*':
+		p.pos++
+		p.tok = token{tokStar, "*", start}
+	case c == '+':
+		p.pos++
+		p.tok = token{tokPlus, "+", start}
+	case c == '?':
+		p.pos++
+		p.tok = token{tokOpt, "?", start}
+	case c == '(':
+		p.pos++
+		p.tok = token{tokLParen, "(", start}
+	case c == ')':
+		p.pos++
+		p.tok = token{tokRParen, ")", start}
+	case c == '{':
+		p.pos++
+		p.tok = token{tokLBrace, "{", start}
+	case c == '}':
+		p.pos++
+		p.tok = token{tokRBrace, "}", start}
+	case c == ',':
+		p.pos++
+		p.tok = token{tokComma, ",", start}
+	case c == '^':
+		if strings.HasPrefix(p.input[p.pos:], "^-") {
+			p.pos += 2
+			p.tok = token{tokInvert, "^-", start}
+			return
+		}
+		p.failLex(start, "'^' must be followed by '-'")
+	case c == '-':
+		p.pos++
+		p.tok = token{tokInvert, "-", start}
+	case unicode.IsDigit(c):
+		end := p.pos
+		for end < len(p.input) && unicode.IsDigit(rune(p.input[end])) {
+			end++
+		}
+		p.tok = token{tokNumber, p.input[p.pos:end], start}
+		p.pos = end
+	case unicode.IsLetter(c) || c == '_':
+		end := p.pos
+		for end < len(p.input) {
+			r, size := utf8.DecodeRuneInString(p.input[end:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			end += size
+		}
+		p.tok = token{tokIdent, p.input[p.pos:end], start}
+		p.pos = end
+	default:
+		p.failLex(start, fmt.Sprintf("unexpected character %q", c))
+	}
+}
+
+// failLex records a lexical error by injecting a sentinel token; the
+// parser surfaces it at the next grammar check. Simpler than threading an
+// error through next().
+func (p *parser) failLex(pos int, msg string) {
+	p.tok = token{kind: tokError, text: "<" + msg + ">", pos: pos}
+	p.pos = len(p.input)
+}
+
+func (p *parser) parseUnion() (Expr, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	alts := []Expr{first}
+	for p.tok.kind == tokPipe {
+		p.next()
+		e, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, e)
+	}
+	if len(alts) == 1 {
+		return alts[0], nil
+	}
+	return Union{Alts: alts}, nil
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for p.tok.kind == tokSlash {
+		p.next()
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Concat{Parts: parts}, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokStar:
+			e = Repeat{Sub: e, Min: 0, Max: Unbounded}
+			p.next()
+		case tokPlus:
+			e = Repeat{Sub: e, Min: 1, Max: Unbounded}
+			p.next()
+		case tokOpt:
+			e = Repeat{Sub: e, Min: 0, Max: 1}
+			p.next()
+		case tokLBrace:
+			rep, err := p.parseBounds(e)
+			if err != nil {
+				return nil, err
+			}
+			e = rep
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseBounds(sub Expr) (Expr, error) {
+	p.next() // consume '{'
+	if p.tok.kind != tokNumber {
+		return nil, p.errorf("expected repetition lower bound, got %s", p.tok)
+	}
+	min, err := strconv.Atoi(p.tok.text)
+	if err != nil {
+		return nil, p.errorf("bad number %q", p.tok.text)
+	}
+	p.next()
+	max := min
+	if p.tok.kind == tokComma {
+		p.next()
+		switch p.tok.kind {
+		case tokNumber:
+			max, err = strconv.Atoi(p.tok.text)
+			if err != nil {
+				return nil, p.errorf("bad number %q", p.tok.text)
+			}
+			p.next()
+		case tokRBrace:
+			max = Unbounded
+		default:
+			return nil, p.errorf("expected upper bound or '}', got %s", p.tok)
+		}
+	}
+	if p.tok.kind != tokRBrace {
+		return nil, p.errorf("expected '}', got %s", p.tok)
+	}
+	p.next()
+	if max != Unbounded && max < min {
+		return nil, p.errorf("repetition bounds {%d,%d} inverted", min, max)
+	}
+	return Repeat{Sub: sub, Min: min, Max: max}, nil
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		label := p.tok.text
+		p.next()
+		if p.tok.kind == tokInvert {
+			p.next()
+			return Step{Label: label, Inverse: true}, nil
+		}
+		return Step{Label: label}, nil
+	case tokLParen:
+		p.next()
+		if p.tok.kind == tokRParen {
+			p.next()
+			return Epsilon{}, nil
+		}
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', got %s", p.tok)
+		}
+		p.next()
+		return e, nil
+	default:
+		return nil, p.errorf("expected label or '(', got %s", p.tok)
+	}
+}

@@ -1,0 +1,87 @@
+package rpq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseHugeRepeatBound(t *testing.T) {
+	// Bounds beyond int range must error, not wrap.
+	if _, err := Parse("a{99999999999999999999}"); err == nil {
+		t.Error("overflowing bound should fail to parse")
+	}
+	// Large but representable bounds parse (expansion limits are the
+	// rewriter's job, not the parser's).
+	e, err := Parse("a{1000000}")
+	if err != nil {
+		t.Fatalf("large bound: %v", err)
+	}
+	if rep, ok := e.(Repeat); !ok || rep.Min != 1000000 {
+		t.Errorf("got %#v", e)
+	}
+}
+
+func TestParseErrorOffsets(t *testing.T) {
+	_, err := Parse("abc/(def|")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks offset: %v", err)
+	}
+}
+
+func TestParseUnderscoreAndDigitsInIdent(t *testing.T) {
+	e, err := Parse("_label_2/other3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(Concat)
+	if !ok || c.Parts[0].(Step).Label != "_label_2" || c.Parts[1].(Step).Label != "other3" {
+		t.Errorf("got %#v", e)
+	}
+}
+
+func TestParseUnicodeLetters(t *testing.T) {
+	e, err := Parse("знает/работаетНа^-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(Concat)
+	if !ok || c.Parts[0].(Step).Label != "знает" {
+		t.Errorf("got %#v", e)
+	}
+	if !c.Parts[1].(Step).Inverse {
+		t.Error("inverse lost")
+	}
+}
+
+func TestPostfixStacking(t *testing.T) {
+	// a{2}* parses as (a{2})* — postfixes apply left to right.
+	e, err := Parse("a{2}*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, ok := e.(Repeat)
+	if !ok || outer.Max != Unbounded {
+		t.Fatalf("outer: %#v", e)
+	}
+	inner, ok := outer.Sub.(Repeat)
+	if !ok || inner.Min != 2 || inner.Max != 2 {
+		t.Fatalf("inner: %#v", outer.Sub)
+	}
+}
+
+func TestEpsilonPostfix(t *testing.T) {
+	e, err := Parse("(){3,7}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := e.(Repeat)
+	if !ok {
+		t.Fatalf("got %#v", e)
+	}
+	if _, ok := rep.Sub.(Epsilon); !ok {
+		t.Errorf("sub = %#v", rep.Sub)
+	}
+}

@@ -1,0 +1,93 @@
+package rpq
+
+import "math/rand"
+
+// GenOptions controls random expression generation.
+type GenOptions struct {
+	// Labels to draw steps from. Must be non-empty.
+	Labels []string
+	// MaxDepth bounds operator nesting. At depth 0 only steps and ε are
+	// generated.
+	MaxDepth int
+	// MaxFanout bounds the arity of concat/union nodes (minimum 2).
+	MaxFanout int
+	// MaxRepeatBound bounds repetition upper limits; repetitions are
+	// always bounded so every generated query is evaluable by all
+	// engines.
+	MaxRepeatBound int
+	// AllowEpsilon permits ε atoms.
+	AllowEpsilon bool
+	// AllowInverse permits inverted steps.
+	AllowInverse bool
+}
+
+// DefaultGenOptions returns generation options suitable for property
+// tests over a graph with the given labels.
+func DefaultGenOptions(labels []string) GenOptions {
+	return GenOptions{
+		Labels:         labels,
+		MaxDepth:       3,
+		MaxFanout:      3,
+		MaxRepeatBound: 3,
+		AllowEpsilon:   true,
+		AllowInverse:   true,
+	}
+}
+
+// Generate returns a random well-formed expression drawn from opts using
+// r. The distribution favors small expressions; repetition bounds are kept
+// tight so expanded query sizes stay manageable.
+func Generate(r *rand.Rand, opts GenOptions) Expr {
+	if len(opts.Labels) == 0 {
+		panic("rpq: Generate requires at least one label")
+	}
+	if opts.MaxFanout < 2 {
+		opts.MaxFanout = 2
+	}
+	if opts.MaxRepeatBound < 1 {
+		opts.MaxRepeatBound = 1
+	}
+	return gen(r, opts, opts.MaxDepth)
+}
+
+func gen(r *rand.Rand, opts GenOptions, depth int) Expr {
+	if depth <= 0 {
+		return genAtom(r, opts)
+	}
+	switch r.Intn(6) {
+	case 0, 1: // step-heavy: half the mass at atoms keeps sizes small
+		return genAtom(r, opts)
+	case 2, 3:
+		n := 2 + r.Intn(opts.MaxFanout-1)
+		parts := make([]Expr, n)
+		for i := range parts {
+			parts[i] = gen(r, opts, depth-1)
+		}
+		return Concat{Parts: parts}
+	case 4:
+		n := 2 + r.Intn(opts.MaxFanout-1)
+		alts := make([]Expr, n)
+		for i := range alts {
+			alts[i] = gen(r, opts, depth-1)
+		}
+		return Union{Alts: alts}
+	default:
+		min := r.Intn(opts.MaxRepeatBound + 1)
+		max := min + r.Intn(opts.MaxRepeatBound-min+1)
+		if max == 0 {
+			max = 1 // avoid the degenerate R{0,0}
+		}
+		return Repeat{Sub: gen(r, opts, depth-1), Min: min, Max: max}
+	}
+}
+
+func genAtom(r *rand.Rand, opts GenOptions) Expr {
+	if opts.AllowEpsilon && r.Intn(10) == 0 {
+		return Epsilon{}
+	}
+	s := Step{Label: opts.Labels[r.Intn(len(opts.Labels))]}
+	if opts.AllowInverse && r.Intn(2) == 0 {
+		s.Inverse = true
+	}
+	return s
+}

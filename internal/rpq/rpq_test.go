@@ -1,0 +1,241 @@
+package rpq
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Expr
+	}{
+		{"knows", Step{Label: "knows"}},
+		{"knows^-", Step{Label: "knows", Inverse: true}},
+		{"knows-", Step{Label: "knows", Inverse: true}},
+		{"()", Epsilon{}},
+		{"a/b", Concat{Parts: []Expr{Step{Label: "a"}, Step{Label: "b"}}}},
+		{"a.b", Concat{Parts: []Expr{Step{Label: "a"}, Step{Label: "b"}}}},
+		{"a|b", Union{Alts: []Expr{Step{Label: "a"}, Step{Label: "b"}}}},
+		{"a{2,4}", Repeat{Sub: Step{Label: "a"}, Min: 2, Max: 4}},
+		{"a{3}", Repeat{Sub: Step{Label: "a"}, Min: 3, Max: 3}},
+		{"a{2,}", Repeat{Sub: Step{Label: "a"}, Min: 2, Max: Unbounded}},
+		{"a*", Repeat{Sub: Step{Label: "a"}, Min: 0, Max: Unbounded}},
+		{"a+", Repeat{Sub: Step{Label: "a"}, Min: 1, Max: Unbounded}},
+		{"a?", Repeat{Sub: Step{Label: "a"}, Min: 0, Max: 1}},
+		{"(a)", Step{Label: "a"}},
+		{" a / b ", Concat{Parts: []Expr{Step{Label: "a"}, Step{Label: "b"}}}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// Union binds weakest, then concat, then postfix.
+	e := MustParse("a/b|c/d{2}")
+	u, ok := e.(Union)
+	if !ok || len(u.Alts) != 2 {
+		t.Fatalf("top level should be a 2-way union, got %#v", e)
+	}
+	if _, ok := u.Alts[0].(Concat); !ok {
+		t.Errorf("first alternative should be concat, got %#v", u.Alts[0])
+	}
+	c, ok := u.Alts[1].(Concat)
+	if !ok {
+		t.Fatalf("second alternative should be concat, got %#v", u.Alts[1])
+	}
+	if _, ok := c.Parts[1].(Repeat); !ok {
+		t.Errorf("d{2} should bind tighter than '/', got %#v", c.Parts[1])
+	}
+}
+
+func TestParseWorkedExample(t *testing.T) {
+	// The paper's Section 4 example: k ◦ (k ◦ w)^{2,4} ◦ w.
+	e := MustParse("knows/(knows/worksFor){2,4}/worksFor")
+	c, ok := e.(Concat)
+	if !ok || len(c.Parts) != 3 {
+		t.Fatalf("want 3-part concat, got %#v", e)
+	}
+	rep, ok := c.Parts[1].(Repeat)
+	if !ok || rep.Min != 2 || rep.Max != 4 {
+		t.Fatalf("middle part should be {2,4} repeat, got %#v", c.Parts[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "|a", "a|", "a/", "/a", "a{", "a{2", "a{2,", "a{,2}", "a{4,2}",
+		"(a", "a)", "a^", "a^+", "a b", "a{x}", "9", "{2}", "a**b(", "a$",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"knows",
+		"knows^-",
+		"a/b/c",
+		"a|b|c",
+		"(a|b)/c",
+		"a/(b|c)",
+		"(a/b){2,4}",
+		"(a|b)*",
+		"a{2,}",
+		"a?",
+		"()",
+		"(()|a)/b",
+		"knows/(knows/worksFor){2,4}/worksFor",
+	} {
+		e := MustParse(in)
+		out := e.String()
+		e2, err := Parse(out)
+		if err != nil {
+			t.Errorf("reparse of String(%q) = %q failed: %v", in, out, err)
+			continue
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Errorf("round trip %q -> %q changed AST:\n%#v\n%#v", in, out, e, e2)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Expr{
+		Step{},
+		Concat{Parts: []Expr{Step{Label: "a"}}},
+		Union{Alts: []Expr{Step{Label: "a"}}},
+		Repeat{Sub: Step{Label: "a"}, Min: -1, Max: 2},
+		Repeat{Sub: Step{Label: "a"}, Min: 3, Max: 2},
+		Concat{Parts: []Expr{Step{Label: "a"}, nil}},
+	}
+	for _, e := range bad {
+		if err := Validate(e); err == nil {
+			t.Errorf("Validate(%#v): expected error", e)
+		}
+	}
+	good := []Expr{
+		Epsilon{},
+		Step{Label: "a"},
+		Repeat{Sub: Step{Label: "a"}, Min: 0, Max: Unbounded},
+	}
+	for _, e := range good {
+		if err := Validate(e); err != nil {
+			t.Errorf("Validate(%#v): %v", e, err)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	e := MustParse("a/(b|a^-)/c{2,3}")
+	got := Labels(e)
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels = %v, want %v", got, want)
+	}
+}
+
+func TestHasUnbounded(t *testing.T) {
+	for in, want := range map[string]bool{
+		"a":         false,
+		"a{2,4}":    false,
+		"a*":        true,
+		"a+":        true,
+		"a{2,}":     true,
+		"(a*|b)/c":  true,
+		"(a|b)/c?":  false,
+		"(a{0,3})*": true,
+	} {
+		if got := HasUnbounded(MustParse(in)); got != want {
+			t.Errorf("HasUnbounded(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestQuickGenerateRoundTrip: every generated expression validates,
+// prints, and reparses to an identical AST.
+func TestQuickGenerateRoundTrip(t *testing.T) {
+	labels := []string{"knows", "worksFor", "supervisor"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Generate(r, DefaultGenOptions(labels))
+		if Validate(e) != nil {
+			return false
+		}
+		out := e.String()
+		e2, err := Parse(out)
+		if err != nil {
+			t.Logf("generated %q failed to reparse: %v", out, err)
+			return false
+		}
+		return reflect.DeepEqual(e, e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateRespectsOptions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	opts := GenOptions{
+		Labels:         []string{"only"},
+		MaxDepth:       4,
+		MaxFanout:      3,
+		MaxRepeatBound: 2,
+		AllowEpsilon:   false,
+		AllowInverse:   false,
+	}
+	for i := 0; i < 200; i++ {
+		e := Generate(r, opts)
+		var walk func(Expr) bool
+		walk = func(e Expr) bool {
+			switch v := e.(type) {
+			case Epsilon:
+				return false
+			case Step:
+				return v.Label == "only" && !v.Inverse
+			case Concat:
+				for _, p := range v.Parts {
+					if !walk(p) {
+						return false
+					}
+				}
+			case Union:
+				for _, a := range v.Alts {
+					if !walk(a) {
+						return false
+					}
+				}
+			case Repeat:
+				if v.Max == Unbounded || v.Max > opts.MaxRepeatBound {
+					return false
+				}
+				return walk(v.Sub)
+			}
+			return true
+		}
+		if !walk(e) {
+			t.Fatalf("generated expression violates options: %s", e)
+		}
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	in := strings.Repeat("(", 50) + "a" + strings.Repeat(")", 50)
+	if _, err := Parse(in); err != nil {
+		t.Errorf("deeply nested parens: %v", err)
+	}
+}

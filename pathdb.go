@@ -1,0 +1,296 @@
+// Package pathdb is a regular path query (RPQ) engine for directed,
+// edge-labeled graphs, built on localized k-path indexes. It reproduces
+// the system demonstrated in "Efficient regular path query evaluation
+// using path indexes" (Fletcher, Peters & Poulovassilis, EDBT 2016).
+//
+// # Quick start
+//
+//	g := pathdb.NewGraph()
+//	g.AddEdge("ada", "knows", "zoe")
+//	g.AddEdge("zoe", "worksFor", "ada")
+//	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+//	if err != nil { ... }
+//	res, err := db.Query("knows/worksFor")
+//	for _, pair := range res.Names { fmt.Println(pair[0], "->", pair[1]) }
+//
+// Queries are regular expressions over edge labels: `knows/worksFor^-`
+// composes a forward step with an inverse step; `a|b` is disjunction;
+// `(knows/worksFor){2,4}` is bounded recursion; `knows*` is Kleene
+// closure (bounded internally by the node count). Answers follow the
+// standard RPQ semantics: the set of node pairs connected by a path
+// whose label sequence is in the expression's language.
+//
+// Four evaluation strategies from the paper are available; the default,
+// StrategyMinSupport, uses an equi-depth selectivity histogram to place
+// joins. See the Strategy constants.
+package pathdb
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/rpq"
+)
+
+// Graph is a mutable, directed, edge-labeled graph. Create one with
+// NewGraph, populate it with AddEdge, and pass it to Build (which
+// freezes it).
+type Graph = graph.Graph
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// LoadGraph reads a graph from an edge-list file with lines of the form
+// "source label target" (see graph.ReadEdgeList for details).
+func LoadGraph(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// Strategy selects the plan-generation algorithm (Section 4 of the
+// paper).
+type Strategy = plan.Strategy
+
+// The four evaluation strategies of the paper.
+const (
+	// StrategyNaive fixes k at 1: single-label scans joined left to
+	// right (stands in for automaton-based evaluation).
+	StrategyNaive = plan.Naive
+	// StrategySemiNaive chunks each disjunct greedily into length-k
+	// segments joined left to right.
+	StrategySemiNaive = plan.SemiNaive
+	// StrategyMinSupport splits at the most selective k-subpath using
+	// the histogram (the paper's recommended strategy).
+	StrategyMinSupport = plan.MinSupport
+	// StrategyMinJoin minimizes the number of joins, then picks the
+	// cheapest segmentation and join order.
+	StrategyMinJoin = plan.MinJoin
+)
+
+// ParseStrategy converts "naive", "semiNaive", "minSupport", or
+// "minJoin" to a Strategy.
+func ParseStrategy(name string) (Strategy, error) { return plan.ParseStrategy(name) }
+
+// Strategies lists all strategies in presentation order.
+func Strategies() []Strategy { return plan.Strategies() }
+
+// Options configures Build. The zero value of every field other than K
+// is a sensible default.
+type Options struct {
+	// K is the path-index locality parameter: label paths up to length
+	// K are indexed. Larger K speeds up long queries at the cost of
+	// index size and build time. Required, at least 1.
+	K int
+	// HistogramBuckets is the equi-depth histogram resolution used for
+	// selectivity estimation; 0 keeps exact per-path counts.
+	HistogramBuckets int
+	// StarBound bounds unbounded repetitions; 0 uses the node count.
+	StarBound int
+	// MaxDisjuncts and MaxPathLength bound query expansion (guards
+	// against exponential rewrites); 0 uses library defaults.
+	MaxDisjuncts  int
+	MaxPathLength int
+	// MaxIndexEntries aborts Build if the index would exceed this many
+	// entries; 0 means unlimited.
+	MaxIndexEntries int
+}
+
+// DB is an immutable RPQ database: a frozen graph plus its k-path index
+// and selectivity histogram.
+type DB struct {
+	engine          *core.Engine
+	defaultStrategy Strategy
+}
+
+// Build freezes g (if needed), constructs the k-path index and
+// histogram, and returns a queryable database.
+func Build(g *Graph, opts Options) (*DB, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pathdb: nil graph")
+	}
+	g.Freeze()
+	engine, err := core.NewEngine(g, core.Options{
+		K:                opts.K,
+		HistogramBuckets: opts.HistogramBuckets,
+		StarBound:        opts.StarBound,
+		MaxDisjuncts:     opts.MaxDisjuncts,
+		MaxPathLength:    opts.MaxPathLength,
+		MaxIndexEntries:  opts.MaxIndexEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{engine: engine, defaultStrategy: StrategyMinSupport}, nil
+}
+
+// SetDefaultStrategy changes the strategy used by Query. The initial
+// default is StrategyMinSupport, the paper's recommended configuration.
+func (db *DB) SetDefaultStrategy(s Strategy) { db.defaultStrategy = s }
+
+// Pair is a query answer pair of node identifiers.
+type Pair = pathindex.Pair
+
+// Result is a query answer.
+type Result struct {
+	// Pairs are the answer (source, target) node identifiers.
+	Pairs []Pair
+	// Names are the same answers as node-name tuples.
+	Names [][2]string
+	// Stats describes the evaluation (timings, plan estimates,
+	// intermediate result sizes).
+	Stats core.Stats
+}
+
+// Query evaluates an RPQ under the database's default strategy.
+func (db *DB) Query(query string) (*Result, error) {
+	return db.QueryWith(query, db.defaultStrategy)
+}
+
+// QueryWith evaluates an RPQ under an explicit strategy.
+func (db *DB) QueryWith(query string, strategy Strategy) (*Result, error) {
+	res, err := db.engine.EvalQuery(query, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Pairs: res.Pairs,
+		Names: db.engine.NamedPairs(res.Pairs),
+		Stats: res.Stats,
+	}, nil
+}
+
+// QueryFrom evaluates an RPQ from a single named source node, returning
+// the names of reachable targets sorted by node identifier. It uses the
+// index's ⟨path, source⟩ prefix lookups instead of materializing the
+// full pair relation, so it is much faster than Query for selective
+// sources.
+func (db *DB) QueryFrom(query, source string) ([]string, error) {
+	return db.engine.EvalQueryFrom(query, source)
+}
+
+// QueryParallel evaluates an RPQ with the disjuncts of its expansion
+// executed concurrently by up to `workers` goroutines. Results equal
+// QueryWith's up to order.
+func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Result, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := db.engine.Compile(expr, strategy)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.ExecuteParallel(workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Pairs: res.Pairs,
+		Names: db.engine.NamedPairs(res.Pairs),
+		Stats: res.Stats,
+	}, nil
+}
+
+// SaveIndex persists the k-path index to a file. The graph itself is not
+// stored; pair BuildWithIndex with the same graph (e.g. reloaded from
+// its edge list) to reuse the index.
+func (db *DB) SaveIndex(path string) error {
+	return db.engine.Index().Save(path)
+}
+
+// BuildWithIndex opens a database over g using a previously saved index
+// instead of rebuilding it. The index must have been built from an
+// identical graph; the label vocabulary is verified on load.
+func BuildWithIndex(g *Graph, indexPath string, opts Options) (*DB, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pathdb: nil graph")
+	}
+	g.Freeze()
+	ix, err := pathindex.Load(indexPath, g)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngineFromIndex(ix, core.Options{
+		K:                ix.K(),
+		HistogramBuckets: opts.HistogramBuckets,
+		StarBound:        opts.StarBound,
+		MaxDisjuncts:     opts.MaxDisjuncts,
+		MaxPathLength:    opts.MaxPathLength,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{engine: engine, defaultStrategy: StrategyMinSupport}, nil
+}
+
+// Explain returns the physical execution plan for a query as text.
+func (db *DB) Explain(query string, strategy Strategy) (string, error) {
+	return db.engine.Explain(query, strategy)
+}
+
+// Graph returns the underlying (frozen) graph.
+func (db *DB) Graph() *Graph { return db.engine.Graph() }
+
+// K returns the index locality parameter.
+func (db *DB) K() int { return db.engine.K() }
+
+// IndexStats describes the built k-path index.
+type IndexStats struct {
+	Entries     int     // ⟨path, source, target⟩ entries
+	LabelPaths  int     // distinct non-empty label paths of length ≤ K
+	PathsKCount int     // |paths_k(G)|, the selectivity denominator
+	BuildMillis float64 // index construction time
+}
+
+// IndexStats returns statistics about the index.
+func (db *DB) IndexStats() IndexStats {
+	st := db.engine.Index().Stats()
+	return IndexStats{
+		Entries:     st.Entries,
+		LabelPaths:  st.LabelPaths,
+		PathsKCount: st.PathsKCount,
+		BuildMillis: float64(st.Duration.Microseconds()) / 1000.0,
+	}
+}
+
+// Selectivity returns the histogram's selectivity estimate for a label
+// path given as a textual query (which must be a plain composition of
+// steps no longer than K), e.g. "knows/worksFor".
+func (db *DB) Selectivity(labelPath string) (float64, error) {
+	expr, err := rpq.Parse(labelPath)
+	if err != nil {
+		return 0, err
+	}
+	steps, err := asSteps(expr)
+	if err != nil {
+		return 0, err
+	}
+	if len(steps) > db.K() {
+		return 0, fmt.Errorf("pathdb: label path longer than index k=%d", db.K())
+	}
+	p, ok := pathindex.Resolve(db.Graph(), steps)
+	if !ok {
+		return 0, nil // unknown labels: empty relation
+	}
+	return db.engine.Histogram().Selectivity(p), nil
+}
+
+// asSteps flattens a pure composition of steps.
+func asSteps(e rpq.Expr) ([]rpq.Step, error) {
+	switch v := e.(type) {
+	case rpq.Step:
+		return []rpq.Step{v}, nil
+	case rpq.Concat:
+		var out []rpq.Step
+		for _, part := range v.Parts {
+			sub, err := asSteps(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pathdb: %s is not a plain label path", e)
+	}
+}
