@@ -66,18 +66,19 @@ func benchEngine(b *testing.B, opts core.Options) *core.Engine {
 	return e
 }
 
-// runWorkload evaluates the full eight-query workload once.
-func runWorkload(b *testing.B, e *core.Engine, s plan.Strategy) int {
+// runWorkload evaluates the full eight-query workload once, returning
+// the summed result pairs and operator batches.
+func runWorkload(b *testing.B, e *core.Engine, s plan.Strategy) (pairs, batches int) {
 	b.Helper()
-	pairs := 0
 	for _, q := range workload.Advogato() {
 		res, err := e.Eval(q.Expr, s)
 		if err != nil {
 			b.Fatalf("%s under %v: %v", q.Name, s, err)
 		}
 		pairs += len(res.Pairs)
+		batches += res.Stats.TotalBatches
 	}
-	return pairs
+	return pairs, batches
 }
 
 // BenchmarkFig2 regenerates Figure 2's aggregate: the full workload per
@@ -88,11 +89,12 @@ func BenchmarkFig2(b *testing.B) {
 		e := benchEngine(b, core.Options{K: k, HistogramBuckets: 64})
 		for _, s := range plan.Strategies() {
 			b.Run(fmt.Sprintf("k=%d/strategy=%v", k, s), func(b *testing.B) {
-				total := 0
+				pairs, batches := 0, 0
 				for i := 0; i < b.N; i++ {
-					total = runWorkload(b, e, s)
+					pairs, batches = runWorkload(b, e, s)
 				}
-				b.ReportMetric(float64(total), "pairs")
+				b.ReportMetric(float64(pairs), "pairs")
+				b.ReportMetric(float64(batches), "batches")
 			})
 		}
 	}

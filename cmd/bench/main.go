@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach]
+//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile]
 //	      [-scale 1.0] [-seed 1] [-runs 3] [-buckets 64]
 //
 // Full scale (-scale 1.0) matches the published Advogato dimensions and
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach")
+	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile")
 	scale := flag.Float64("scale", 1.0, "Advogato scale factor in (0,1]")
 	seed := flag.Int64("seed", 1, "generator seed")
 	runs := flag.Int("runs", 3, "samples per measurement (median reported)")
@@ -74,6 +74,8 @@ func run(experiment string, cfg bench.Config) error {
 		return printTables(bench.Ablation(cfg))
 	case "reach":
 		return one(bench.Reach(cfg))
+	case "execprofile":
+		return one(bench.ExecProfile(cfg))
 	case "all":
 		if err := printTables(bench.Fig2(cfg)); err != nil {
 			return err
@@ -90,7 +92,10 @@ func run(experiment string, cfg bench.Config) error {
 		if err := printTables(bench.Ablation(cfg)); err != nil {
 			return err
 		}
-		return one(bench.Reach(cfg))
+		if err := one(bench.Reach(cfg)); err != nil {
+			return err
+		}
+		return one(bench.ExecProfile(cfg))
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}

@@ -161,6 +161,22 @@ func TestReachSmoke(t *testing.T) {
 	}
 }
 
+func TestExecProfileSmoke(t *testing.T) {
+	tab, err := ExecProfile(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// Any query with intermediate rows must have recorded batches.
+		if row[3] != "0" && row[4] == "0" {
+			t.Errorf("query %s moved rows but recorded no batches: %v", row[0], row)
+		}
+	}
+}
+
 func TestConfigNormalize(t *testing.T) {
 	c := Config{}.normalize()
 	if c.Scale != 1.0 || c.Runs != 1 || len(c.Ks) != 3 {

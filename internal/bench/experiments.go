@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/datasets"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/pathindex"
 	"repro/internal/plan"
@@ -390,6 +391,56 @@ func Reach(c Config) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"the reachability index answers only (l|...)* shapes (third row: n/a); the path index answers arbitrary RPQs",
 		"pathIndex evaluates stars by bounded expansion (StarBound=16 here), which explodes on multi-label stars")
+	return t, nil
+}
+
+// ExecProfile records the vectorized executor's runtime profile: per
+// Advogato query under minSupport at the largest k, the result size, the
+// summed intermediate rows and batches over all operators, and the mean
+// rows moved per batch. Batch=1 numbers equal what the pre-vectorization
+// tuple-at-a-time executor paid one interface call apiece for, so this
+// table is the before/after ledger of the batching refactor (the exec
+// micro-benchmarks in BENCH_exec.json hold the isolated operator
+// throughputs).
+func ExecProfile(c Config) (*Table, error) {
+	c = c.normalize()
+	g := c.advogato()
+	k := c.Ks[len(c.Ks)-1]
+	e, err := c.engine(g, k, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Exec profile (minSupport, k=%d): batched operator traffic, %d nodes / %d edges",
+			k, g.NumNodes(), g.NumEdges()),
+		Header: []string{"query", "exec ms", "result pairs", "interm rows", "batches", "rows/batch"},
+	}
+	for _, q := range workload.Advogato() {
+		var res *core.Result
+		d, err := timeIt(c.Runs, func() error {
+			r, err := e.Eval(q.Expr, plan.MinSupport)
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", q.Name, err)
+		}
+		rowsPerBatch := 0.0
+		if res.Stats.TotalBatches > 0 {
+			rowsPerBatch = float64(res.Stats.TotalIntermRows) / float64(res.Stats.TotalBatches)
+		}
+		t.AddRow(q.Name, ms(d),
+			fmt.Sprintf("%d", res.Stats.ResultPairs),
+			fmt.Sprintf("%d", res.Stats.TotalIntermRows),
+			fmt.Sprintf("%d", res.Stats.TotalBatches),
+			fmt.Sprintf("%.0f", rowsPerBatch))
+	}
+	t.Notes = append(t.Notes,
+		"rows/batch is the mean batch fill across the operator tree; the tuple-at-a-time executor moved 1 row per call",
+		fmt.Sprintf("operators move up to %d pairs per NextBatch call", exec.DefaultBatchSize))
 	return t, nil
 }
 

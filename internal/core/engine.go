@@ -131,7 +131,13 @@ type Stats struct {
 	ExecTime        time.Duration //
 	ResultPairs     int           // actual result cardinality
 	OperatorRows    map[string]int
-	TotalIntermRows int // summed rows over all operators
+	OperatorBatches map[string]int // batches emitted, by operator kind
+	TotalIntermRows int            // summed rows over all operators
+	// TotalBatches is the summed batches over all operators. Under
+	// ExecuteParallel, which omits per-operator statistics, it instead
+	// counts the batches merged at the top level — do not compare the
+	// two directly.
+	TotalBatches int
 }
 
 // Result is a query answer: the set R(G) sorted in stream order
@@ -224,7 +230,9 @@ func (p *Prepared) Execute() (*Result, error) {
 	st.ResultPairs = len(pairs)
 	es := exec.CollectStats(op)
 	st.OperatorRows = es.RowsByOperator
+	st.OperatorBatches = es.BatchesByOperator
 	st.TotalIntermRows = es.TotalRows
+	st.TotalBatches = es.TotalBatches
 	return &Result{Pairs: pairs, Stats: st}, nil
 }
 

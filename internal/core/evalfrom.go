@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/pathindex"
@@ -51,7 +51,7 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 	for t := range result {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 
@@ -67,13 +67,11 @@ func (e *Engine) evalDisjunctFrom(d pathindex.Path, src graph.NodeID) []graph.No
 		seg := d[start:end]
 		next := map[graph.NodeID]bool{}
 		for _, n := range frontier {
-			it := e.ix.ScanFrom(seg, n)
-			for {
-				pr, ok := it.Next()
-				if !ok {
-					break
-				}
-				next[pr.Dst] = true
+			// SrcRange hands back the ⟨seg, n⟩ run of the index as one
+			// zero-copy slice; walking it directly avoids the per-pair
+			// iterator calls of the old ScanFrom loop.
+			for _, pr := range e.ix.SrcRange(seg, n) {
+				next[pr.Dst()] = true
 			}
 		}
 		if len(next) == 0 {

@@ -11,8 +11,10 @@ import (
 )
 
 // ExecuteParallel runs the prepared plan with the disjuncts evaluated
-// concurrently by up to `workers` goroutines, merging and deduplicating
-// their outputs. Results equal Execute's (up to order); the index and
+// concurrently by up to `workers` goroutines. Each worker drains its
+// operator tree one batch at a time and streams whole batches to the
+// merger, which deduplicates batch-wise — pairs never cross the channel
+// individually. Results equal Execute's (up to order); the index and
 // histogram are immutable after construction, so concurrent scans are
 // safe. Statistics cover the merged run but omit per-operator rows.
 func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
@@ -22,16 +24,17 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 	buildOpts := exec.BuildOptions{PerJoinDedup: !p.engine.opts.NoIntermediateDedup}
 
 	type chunk struct {
-		pairs []pathindex.Pair
+		batch []pathindex.Pair
 		err   error
 	}
 	jobs := make(chan plan.Node)
-	results := make(chan chunk)
+	results := make(chan chunk, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := make([]pathindex.Pair, exec.DefaultBatchSize)
 			for d := range jobs {
 				sub := &plan.Plan{
 					Strategy:  p.plan.Strategy,
@@ -43,7 +46,18 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 					results <- chunk{err: fmt.Errorf("core: building operators: %w", err)}
 					continue
 				}
-				results <- chunk{pairs: exec.Run(op)}
+				for {
+					n := op.NextBatch(buf)
+					if n == 0 {
+						break
+					}
+					// The buffer is reused for the next batch, so the
+					// outgoing batch is copied once here; the merger
+					// consumes it without further copying.
+					batch := make([]pathindex.Pair, n)
+					copy(batch, buf[:n])
+					results <- chunk{batch: batch}
+				}
 			}
 		}()
 	}
@@ -58,6 +72,7 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 
 	seen := map[pathindex.Pair]struct{}{}
 	var out []pathindex.Pair
+	batches := 0
 	if p.plan.HasEpsilon {
 		for n := 0; n < p.engine.g.NumNodes(); n++ {
 			pr := pathindex.Pair{Src: graph.NodeID(n), Dst: graph.NodeID(n)}
@@ -73,7 +88,8 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 			}
 			continue
 		}
-		for _, pr := range c.pairs {
+		batches++
+		for _, pr := range c.batch {
 			if _, dup := seen[pr]; !dup {
 				seen[pr] = struct{}{}
 				out = append(out, pr)
@@ -85,5 +101,6 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 	}
 	st := p.stats
 	st.ResultPairs = len(out)
+	st.TotalBatches = batches // merged top-level batches, not per-operator (see Stats)
 	return &Result{Pairs: out, Stats: st}, nil
 }

@@ -4,9 +4,13 @@
 // scans for ε, and the top-level deduplicating union that realizes the
 // paper's set semantics for query answers.
 //
-// Operators follow the Volcano iterator model: Next returns one
-// (source, target) pair at a time. Operators also expose runtime counters
-// for the engine's statistics output.
+// Operators are vectorized: NextBatch fills a caller-supplied buffer with
+// up to len(buf) (source, target) pairs per call, so the per-tuple
+// interface dispatch of the classic Volcano model is paid once per batch
+// instead of once per pair. Index scans decode zero-copy blocks of the
+// index's sorted packed runs straight into the batch buffer; the merge
+// join advances over batches with galloping search. Operators also expose
+// runtime counters (rows and batches) for the engine's statistics output.
 package exec
 
 import (
@@ -20,30 +24,43 @@ import (
 // Pair is a query result: a (source, target) node pair.
 type Pair = pathindex.Pair
 
-// Operator produces a stream of pairs.
+// DefaultBatchSize is the batch buffer size used by Run and by internal
+// operator buffers when the caller does not choose one.
+const DefaultBatchSize = 1024
+
+// Operator produces a stream of pairs, one batch at a time.
 type Operator interface {
-	// Next returns the next pair; ok=false at exhaustion.
-	Next() (Pair, bool)
+	// NextBatch fills buf with up to len(buf) pairs and returns the
+	// number filled. It returns 0 only at exhaustion (never as an empty
+	// intermediate batch), so a 0 return terminates the stream. buf must
+	// be non-empty.
+	NextBatch(buf []Pair) int
 	// Rows returns the number of pairs produced so far.
 	Rows() int
+	// Batches returns the number of non-empty batches produced so far.
+	Batches() int
 	// Name identifies the operator kind in statistics output.
 	Name() string
 }
 
 // Stats aggregates runtime counters over an operator tree.
 type Stats struct {
-	RowsByOperator map[string]int
-	TotalRows      int
+	RowsByOperator    map[string]int
+	BatchesByOperator map[string]int
+	TotalRows         int
+	TotalBatches      int
 }
 
-// CollectStats walks an operator tree, summing produced rows by operator
-// kind.
+// CollectStats walks an operator tree, summing produced rows and batches
+// by operator kind.
 func CollectStats(op Operator) Stats {
-	st := Stats{RowsByOperator: map[string]int{}}
+	st := Stats{RowsByOperator: map[string]int{}, BatchesByOperator: map[string]int{}}
 	var walk func(Operator)
 	walk = func(op Operator) {
 		st.RowsByOperator[op.Name()] += op.Rows()
+		st.BatchesByOperator[op.Name()] += op.Batches()
 		st.TotalRows += op.Rows()
+		st.TotalBatches += op.Batches()
 		type hasChildren interface{ children() []Operator }
 		if hc, ok := op.(hasChildren); ok {
 			for _, c := range hc.children() {
@@ -62,6 +79,17 @@ type BuildOptions struct {
 	// Ext-3c). The top-level union deduplicates regardless, so results
 	// are identical either way.
 	PerJoinDedup bool
+	// BatchSize sets the internal buffer size operators use when pulling
+	// from their children; 0 uses DefaultBatchSize. Exposed for the
+	// batch-size micro-benchmarks.
+	BatchSize int
+}
+
+func (o BuildOptions) batchSize() int {
+	if o.BatchSize < 1 {
+		return DefaultBatchSize
+	}
+	return o.BatchSize
 }
 
 // Build translates a physical plan into an operator tree over ix. The
@@ -78,7 +106,7 @@ func Build(p *plan.Plan, ix *pathindex.Index, opts BuildOptions) (Operator, erro
 		}
 		ops = append(ops, op)
 	}
-	return NewUnionDistinct(ops), nil
+	return NewUnionDistinctSized(ops, opts.batchSize()), nil
 }
 
 func buildNode(n plan.Node, ix *pathindex.Index, opts BuildOptions) (Operator, error) {
@@ -99,12 +127,12 @@ func buildNode(n plan.Node, ix *pathindex.Index, opts BuildOptions) (Operator, e
 		}
 		var join Operator
 		if v.Algo == plan.Merge {
-			join = NewMergeJoin(left, right)
+			join = NewMergeJoinSized(left, right, opts.batchSize())
 		} else {
-			join = NewHashJoin(left, right, v.BuildRight)
+			join = NewHashJoinSized(left, right, v.BuildRight, opts.batchSize())
 		}
 		if opts.PerJoinDedup {
-			join = NewDistinct(join)
+			join = NewDistinctSized(join, opts.batchSize())
 		}
 		return join, nil
 	default:
@@ -112,27 +140,41 @@ func buildNode(n plan.Node, ix *pathindex.Index, opts BuildOptions) (Operator, e
 	}
 }
 
-// Run drains an operator into a deduplicated result slice, sorted by
-// (src, dst).
+// Run drains an operator into a result slice using DefaultBatchSize
+// batches.
 func Run(op Operator) []Pair {
+	return RunSized(op, DefaultBatchSize)
+}
+
+// RunSized drains an operator using the given batch size (minimum 1).
+func RunSized(op Operator, batchSize int) []Pair {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	buf := make([]Pair, batchSize)
 	var out []Pair
 	for {
-		pr, ok := op.Next()
-		if !ok {
+		n := op.NextBatch(buf)
+		if n == 0 {
 			return out
 		}
-		out = append(out, pr)
+		out = append(out, buf[:n]...)
 	}
 }
 
-// IndexScan streams one segment's relation from the index. With swap=true
-// it physically scans the segment's inverse path and swaps the
-// components, so pairs of the original segment arrive ordered by target —
-// the inverted scans of the paper's merge-join plans.
+// IndexScan streams one segment's relation from the index by decoding its
+// sorted packed blocks into the batch buffer — no per-pair calls and no
+// intermediate allocation. With swap=true it physically scans the
+// segment's inverse path and swaps the components, so pairs of the
+// original segment arrive ordered by target — the inverted scans of the
+// paper's merge-join plans.
 type IndexScan struct {
-	it   *pathindex.PairIterator
-	swap bool
-	rows int
+	blocks  *pathindex.BlockIterator
+	block   []pathindex.Packed
+	off     int
+	swap    bool
+	rows    int
+	batches int
 }
 
 // NewIndexScan returns a scan of segment; inverted selects target order.
@@ -141,24 +183,52 @@ func NewIndexScan(ix *pathindex.Index, segment pathindex.Path, inverted bool) *I
 	if inverted {
 		p = segment.Inverse()
 	}
-	return &IndexScan{it: ix.Scan(p), swap: inverted}
+	return &IndexScan{blocks: ix.Blocks(p), swap: inverted}
 }
 
-// Next implements Operator.
-func (s *IndexScan) Next() (Pair, bool) {
-	pr, ok := s.it.Next()
-	if !ok {
-		return Pair{}, false
+// NextBatch implements Operator.
+func (s *IndexScan) NextBatch(buf []Pair) int {
+	n := 0
+	for n < len(buf) {
+		if s.off == len(s.block) {
+			s.block = s.blocks.Next()
+			s.off = 0
+			if len(s.block) == 0 {
+				break
+			}
+		}
+		src := s.block[s.off:]
+		dst := buf[n:]
+		m := len(src)
+		if m > len(dst) {
+			m = len(dst)
+		}
+		if s.swap {
+			for i := 0; i < m; i++ {
+				pr := src[i]
+				dst[i] = Pair{Src: pr.Dst(), Dst: pr.Src()}
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				pr := src[i]
+				dst[i] = Pair{Src: pr.Src(), Dst: pr.Dst()}
+			}
+		}
+		n += m
+		s.off += m
 	}
-	if s.swap {
-		pr.Src, pr.Dst = pr.Dst, pr.Src
+	s.rows += n
+	if n > 0 {
+		s.batches++
 	}
-	s.rows++
-	return pr, true
+	return n
 }
 
 // Rows implements Operator.
 func (s *IndexScan) Rows() int { return s.rows }
+
+// Batches implements Operator.
+func (s *IndexScan) Batches() int { return s.batches }
 
 // Name implements Operator.
 func (s *IndexScan) Name() string { return "index-scan" }
@@ -168,6 +238,7 @@ func (s *IndexScan) Name() string { return "index-scan" }
 type IdentityScan struct {
 	n, total int
 	rows     int
+	batches  int
 }
 
 // NewIdentityScan returns an identity scan over g's nodes.
@@ -175,85 +246,245 @@ func NewIdentityScan(g *graph.Graph) *IdentityScan {
 	return &IdentityScan{total: g.NumNodes()}
 }
 
-// Next implements Operator.
-func (s *IdentityScan) Next() (Pair, bool) {
-	if s.n >= s.total {
-		return Pair{}, false
+// NextBatch implements Operator.
+func (s *IdentityScan) NextBatch(buf []Pair) int {
+	n := 0
+	for n < len(buf) && s.n < s.total {
+		id := graph.NodeID(s.n)
+		buf[n] = Pair{Src: id, Dst: id}
+		s.n++
+		n++
 	}
-	id := graph.NodeID(s.n)
-	s.n++
-	s.rows++
-	return Pair{Src: id, Dst: id}, true
+	s.rows += n
+	if n > 0 {
+		s.batches++
+	}
+	return n
 }
 
 // Rows implements Operator.
 func (s *IdentityScan) Rows() int { return s.rows }
 
+// Batches implements Operator.
+func (s *IdentityScan) Batches() int { return s.batches }
+
 // Name implements Operator.
 func (s *IdentityScan) Name() string { return "identity-scan" }
+
+// input buffers a child operator's batches for consumption at arbitrary
+// positions — the building block of the batched joins. Methods are
+// concrete (no interface dispatch) so per-pair cursor movement inside a
+// join stays cheap; crossing a batch boundary costs one NextBatch call.
+type input struct {
+	op   Operator
+	buf  []Pair
+	n    int // filled length of buf
+	pos  int // consumption cursor
+	done bool
+}
+
+func newInput(op Operator, batchSize int) input {
+	return input{op: op, buf: make([]Pair, batchSize)}
+}
+
+// fill ensures pos < n, pulling the next batch when the current one is
+// consumed. It reports false at exhaustion.
+func (in *input) fill() bool {
+	for in.pos == in.n {
+		if in.done {
+			return false
+		}
+		in.n = in.op.NextBatch(in.buf)
+		in.pos = 0
+		if in.n == 0 {
+			in.done = true
+			return false
+		}
+	}
+	return true
+}
+
+// gallopByDst returns the smallest offset i into w with w[i].Dst >=
+// target, or len(w) if none, assuming w is non-decreasing on Dst. It
+// probes at exponentially growing strides and binary-searches the final
+// stride, so skipping a long run of non-matching keys costs O(log run)
+// comparisons. gallopBySrc is the Src-keyed twin; the two are spelled
+// out concretely so the merge join's innermost comparisons stay direct
+// field reads instead of indirect calls through a key-extractor func.
+func gallopByDst(w []Pair, target graph.NodeID) int {
+	if len(w) == 0 || w[0].Dst >= target {
+		return 0
+	}
+	// Invariant: w[lo].Dst < target. Find hi with w[hi].Dst >= target.
+	lo, hi := 0, 1
+	for hi < len(w) && w[hi].Dst < target {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > len(w) {
+		hi = len(w)
+	}
+	// Binary search in (lo, hi].
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if w[mid].Dst < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// gallopBySrc is gallopByDst keyed on Src.
+func gallopBySrc(w []Pair, target graph.NodeID) int {
+	if len(w) == 0 || w[0].Src >= target {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < len(w) && w[hi].Src < target {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > len(w) {
+		hi = len(w)
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if w[mid].Src < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
 
 // MergeJoin composes left with right on left.dst = right.src. It requires
 // left ordered by dst (an inverted scan) and right ordered by src (a
 // forward scan); both hold groups of equal keys, which are
-// cross-producted.
+// cross-producted. Batches are consumed with galloping advance: when one
+// side's key trails the other, the cursor skips ahead by exponential
+// search instead of stepping pair by pair.
 type MergeJoin struct {
-	left, right Operator
+	left, right input
 
-	leftRow, rightRow Pair
-	leftOK, rightOK   bool
-	started           bool
-	group             []graph.NodeID // right targets for the current key
-	groupSrcs         []graph.NodeID // left sources for the current key
-	gi, gj            int
-	rows              int
+	groupSrcs []graph.NodeID // left sources for the current key
+	groupDsts []graph.NodeID // right targets for the current key
+	gi, gj    int
+	rows      int
+	batches   int
 }
 
-// NewMergeJoin returns a merge join of left and right.
+// NewMergeJoin returns a merge join of left and right with default batch
+// buffers.
 func NewMergeJoin(left, right Operator) *MergeJoin {
-	return &MergeJoin{left: left, right: right}
+	return NewMergeJoinSized(left, right, DefaultBatchSize)
 }
 
-func (m *MergeJoin) children() []Operator { return []Operator{m.left, m.right} }
-
-// Next implements Operator.
-func (m *MergeJoin) Next() (Pair, bool) {
-	if !m.started {
-		m.leftRow, m.leftOK = m.left.Next()
-		m.rightRow, m.rightOK = m.right.Next()
-		m.started = true
+// NewMergeJoinSized returns a merge join whose input buffers hold
+// batchSize pairs.
+func NewMergeJoinSized(left, right Operator, batchSize int) *MergeJoin {
+	if batchSize < 1 {
+		batchSize = 1
 	}
+	return &MergeJoin{left: newInput(left, batchSize), right: newInput(right, batchSize)}
+}
+
+func (m *MergeJoin) children() []Operator { return []Operator{m.left.op, m.right.op} }
+
+// advanceToDst moves in's cursor to the first pair with Dst >= target,
+// galloping within each buffered batch and discarding batches that end
+// below the target. advanceToSrc is the Src-keyed twin.
+func advanceToDst(in *input, target graph.NodeID) {
+	for in.fill() {
+		w := in.buf[in.pos:in.n]
+		if w[len(w)-1].Dst < target {
+			in.pos = in.n // whole batch below target
+			continue
+		}
+		in.pos += gallopByDst(w, target)
+		return
+	}
+}
+
+func advanceToSrc(in *input, target graph.NodeID) {
+	for in.fill() {
+		w := in.buf[in.pos:in.n]
+		if w[len(w)-1].Src < target {
+			in.pos = in.n
+			continue
+		}
+		in.pos += gallopBySrc(w, target)
+		return
+	}
+}
+
+// collectLeftGroup appends to dst the Src of every pair at the cursor
+// whose Dst equals k, advancing across batch refills.
+// collectRightGroup is the mirror (key Src, collect Dst).
+func collectLeftGroup(in *input, k graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	for {
+		for in.pos < in.n && in.buf[in.pos].Dst == k {
+			dst = append(dst, in.buf[in.pos].Src)
+			in.pos++
+		}
+		if in.pos < in.n || !in.fill() {
+			return dst
+		}
+	}
+}
+
+func collectRightGroup(in *input, k graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	for {
+		for in.pos < in.n && in.buf[in.pos].Src == k {
+			dst = append(dst, in.buf[in.pos].Dst)
+			in.pos++
+		}
+		if in.pos < in.n || !in.fill() {
+			return dst
+		}
+	}
+}
+
+// NextBatch implements Operator.
+func (m *MergeJoin) NextBatch(buf []Pair) int {
+	n := 0
 	for {
 		// Emit from the current group cross product.
-		if m.gi < len(m.groupSrcs) {
-			pr := Pair{Src: m.groupSrcs[m.gi], Dst: m.group[m.gj]}
+		for m.gi < len(m.groupSrcs) {
+			if n == len(buf) {
+				m.rows += n
+				m.batches++
+				return n
+			}
+			buf[n] = Pair{Src: m.groupSrcs[m.gi], Dst: m.groupDsts[m.gj]}
+			n++
 			m.gj++
-			if m.gj == len(m.group) {
+			if m.gj == len(m.groupDsts) {
 				m.gj = 0
 				m.gi++
 			}
-			m.rows++
-			return pr, true
 		}
-		if !m.leftOK || !m.rightOK {
-			return Pair{}, false
+		if !m.left.fill() || !m.right.fill() {
+			m.rows += n
+			if n > 0 {
+				m.batches++
+			}
+			return n
 		}
+		lkey := m.left.buf[m.left.pos].Dst
+		rkey := m.right.buf[m.right.pos].Src
 		switch {
-		case m.leftRow.Dst < m.rightRow.Src:
-			m.leftRow, m.leftOK = m.left.Next()
-		case m.leftRow.Dst > m.rightRow.Src:
-			m.rightRow, m.rightOK = m.right.Next()
+		case lkey < rkey:
+			advanceToDst(&m.left, rkey)
+		case lkey > rkey:
+			advanceToSrc(&m.right, lkey)
 		default:
-			key := m.leftRow.Dst
-			m.groupSrcs = m.groupSrcs[:0]
-			for m.leftOK && m.leftRow.Dst == key {
-				m.groupSrcs = append(m.groupSrcs, m.leftRow.Src)
-				m.leftRow, m.leftOK = m.left.Next()
-			}
-			m.group = m.group[:0]
-			for m.rightOK && m.rightRow.Src == key {
-				m.group = append(m.group, m.rightRow.Dst)
-				m.rightRow, m.rightOK = m.right.Next()
-			}
+			// Keys are copied out of the buffers because collecting a
+			// group may refill them.
+			m.groupSrcs = collectLeftGroup(&m.left, lkey, m.groupSrcs[:0])
+			m.groupDsts = collectRightGroup(&m.right, lkey, m.groupDsts[:0])
 			m.gi, m.gj = 0, 0
 		}
 	}
@@ -262,86 +493,115 @@ func (m *MergeJoin) Next() (Pair, bool) {
 // Rows implements Operator.
 func (m *MergeJoin) Rows() int { return m.rows }
 
+// Batches implements Operator.
+func (m *MergeJoin) Batches() int { return m.batches }
+
 // Name implements Operator.
 func (m *MergeJoin) Name() string { return "merge-join" }
 
 // HashJoin composes left with right on left.dst = right.src, building a
-// hash table on one side and probing with the other.
+// hash table from whole batches of one side and probing with batches of
+// the other.
 type HashJoin struct {
 	left, right Operator
 	buildRight  bool
+	batchSize   int
 
-	built   bool
-	table   map[graph.NodeID][]graph.NodeID
-	probeOp Operator
+	built bool
+	table map[graph.NodeID][]graph.NodeID
+	probe input
 
-	probeRow Pair
-	matches  []graph.NodeID
-	mi       int
-	rows     int
+	cur     Pair // current probe row
+	matches []graph.NodeID
+	mi      int
+	rows    int
+	batches int
 }
 
 // NewHashJoin returns a hash join; buildRight selects the hashed side.
 func NewHashJoin(left, right Operator, buildRight bool) *HashJoin {
-	return &HashJoin{left: left, right: right, buildRight: buildRight}
+	return NewHashJoinSized(left, right, buildRight, DefaultBatchSize)
+}
+
+// NewHashJoinSized returns a hash join whose build and probe loops move
+// batchSize pairs per child call.
+func NewHashJoinSized(left, right Operator, buildRight bool, batchSize int) *HashJoin {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &HashJoin{left: left, right: right, buildRight: buildRight, batchSize: batchSize}
 }
 
 func (h *HashJoin) children() []Operator { return []Operator{h.left, h.right} }
 
 func (h *HashJoin) build() {
 	h.table = map[graph.NodeID][]graph.NodeID{}
+	buf := make([]Pair, h.batchSize)
 	if h.buildRight {
 		// Hash right on src -> list of dst; probe with left rows.
 		for {
-			pr, ok := h.right.Next()
-			if !ok {
+			n := h.right.NextBatch(buf)
+			if n == 0 {
 				break
 			}
-			h.table[pr.Src] = append(h.table[pr.Src], pr.Dst)
+			for _, pr := range buf[:n] {
+				h.table[pr.Src] = append(h.table[pr.Src], pr.Dst)
+			}
 		}
-		h.probeOp = h.left
+		h.probe = newInput(h.left, h.batchSize)
 	} else {
 		// Hash left on dst -> list of src; probe with right rows.
 		for {
-			pr, ok := h.left.Next()
-			if !ok {
+			n := h.left.NextBatch(buf)
+			if n == 0 {
 				break
 			}
-			h.table[pr.Dst] = append(h.table[pr.Dst], pr.Src)
+			for _, pr := range buf[:n] {
+				h.table[pr.Dst] = append(h.table[pr.Dst], pr.Src)
+			}
 		}
-		h.probeOp = h.right
+		h.probe = newInput(h.right, h.batchSize)
 	}
 	h.built = true
 }
 
-// Next implements Operator.
-func (h *HashJoin) Next() (Pair, bool) {
+// NextBatch implements Operator.
+func (h *HashJoin) NextBatch(buf []Pair) int {
 	if !h.built {
 		h.build()
 	}
+	n := 0
 	for {
-		if h.mi < len(h.matches) {
-			var pr Pair
+		// Emit pending matches of the current probe row.
+		for h.mi < len(h.matches) {
+			if n == len(buf) {
+				h.rows += n
+				h.batches++
+				return n
+			}
 			if h.buildRight {
 				// probe row is a left row (a,b); matches are right dsts.
-				pr = Pair{Src: h.probeRow.Src, Dst: h.matches[h.mi]}
+				buf[n] = Pair{Src: h.cur.Src, Dst: h.matches[h.mi]}
 			} else {
 				// probe row is a right row (b,c); matches are left srcs.
-				pr = Pair{Src: h.matches[h.mi], Dst: h.probeRow.Dst}
+				buf[n] = Pair{Src: h.matches[h.mi], Dst: h.cur.Dst}
 			}
 			h.mi++
-			h.rows++
-			return pr, true
+			n++
 		}
-		row, ok := h.probeOp.Next()
-		if !ok {
-			return Pair{}, false
+		if !h.probe.fill() {
+			h.rows += n
+			if n > 0 {
+				h.batches++
+			}
+			return n
 		}
-		h.probeRow = row
+		h.cur = h.probe.buf[h.probe.pos]
+		h.probe.pos++
 		if h.buildRight {
-			h.matches = h.table[row.Dst]
+			h.matches = h.table[h.cur.Dst]
 		} else {
-			h.matches = h.table[row.Src]
+			h.matches = h.table[h.cur.Src]
 		}
 		h.mi = 0
 	}
@@ -350,45 +610,109 @@ func (h *HashJoin) Next() (Pair, bool) {
 // Rows implements Operator.
 func (h *HashJoin) Rows() int { return h.rows }
 
+// Batches implements Operator.
+func (h *HashJoin) Batches() int { return h.batches }
+
 // Name implements Operator.
 func (h *HashJoin) Name() string { return "hash-join" }
+
+// dedup filters batches through a seen-set, retaining the first
+// occurrence of each pair. It is the shared core of UnionDistinct and
+// Distinct: a child batch is pulled into the scratch buffer, surviving
+// pairs are compacted into the output buffer, and the scratch cursor
+// persists across calls so output buffers may be smaller than child
+// batches.
+type dedup struct {
+	seen    map[Pair]struct{}
+	scratch []Pair
+	n, pos  int
+}
+
+// drain moves deduplicated pairs from scratch[pos:n] into buf[off:],
+// returning the new output offset.
+func (d *dedup) drain(buf []Pair, off int) int {
+	for d.pos < d.n && off < len(buf) {
+		pr := d.scratch[d.pos]
+		d.pos++
+		if _, dup := d.seen[pr]; dup {
+			continue
+		}
+		d.seen[pr] = struct{}{}
+		buf[off] = pr
+		off++
+	}
+	return off
+}
+
+// refill pulls the next batch of op into scratch, sizing scratch on first
+// use. It reports false at exhaustion.
+func (d *dedup) refill(op Operator, batchSize int) bool {
+	if d.scratch == nil {
+		d.scratch = make([]Pair, batchSize)
+	}
+	d.n = op.NextBatch(d.scratch)
+	d.pos = 0
+	return d.n > 0
+}
 
 // UnionDistinct concatenates child streams and removes duplicate pairs —
 // the top-level union over disjuncts with the paper's set semantics.
 type UnionDistinct struct {
-	kids []Operator
-	i    int
-	seen map[Pair]struct{}
-	rows int
+	kids      []Operator
+	i         int
+	d         dedup
+	batchSize int
+	rows      int
+	batches   int
 }
 
-// NewUnionDistinct returns a deduplicating union of the children.
+// NewUnionDistinct returns a deduplicating union of the children with
+// default-size child batches.
 func NewUnionDistinct(children []Operator) *UnionDistinct {
-	return &UnionDistinct{kids: children, seen: map[Pair]struct{}{}}
+	return NewUnionDistinctSized(children, DefaultBatchSize)
+}
+
+// NewUnionDistinctSized returns a deduplicating union pulling batchSize
+// pairs per child call.
+func NewUnionDistinctSized(children []Operator, batchSize int) *UnionDistinct {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &UnionDistinct{kids: children, batchSize: batchSize, d: dedup{seen: map[Pair]struct{}{}}}
 }
 
 func (u *UnionDistinct) children() []Operator { return u.kids }
 
-// Next implements Operator.
-func (u *UnionDistinct) Next() (Pair, bool) {
-	for u.i < len(u.kids) {
-		pr, ok := u.kids[u.i].Next()
-		if !ok {
-			u.i++
-			continue
-		}
-		if _, dup := u.seen[pr]; dup {
-			continue
-		}
-		u.seen[pr] = struct{}{}
-		u.rows++
-		return pr, true
+// NextBatch implements Operator.
+func (u *UnionDistinct) NextBatch(buf []Pair) int {
+	if len(buf) == 0 {
+		return 0
 	}
-	return Pair{}, false
+	n := 0
+	for {
+		n = u.d.drain(buf, n)
+		if n == len(buf) && len(buf) > 0 {
+			break
+		}
+		if u.i == len(u.kids) {
+			break
+		}
+		if !u.d.refill(u.kids[u.i], u.batchSize) {
+			u.i++
+		}
+	}
+	u.rows += n
+	if n > 0 {
+		u.batches++
+	}
+	return n
 }
 
 // Rows implements Operator.
 func (u *UnionDistinct) Rows() int { return u.rows }
+
+// Batches implements Operator.
+func (u *UnionDistinct) Batches() int { return u.batches }
 
 // Name implements Operator.
 func (u *UnionDistinct) Name() string { return "union-distinct" }
@@ -396,36 +720,61 @@ func (u *UnionDistinct) Name() string { return "union-distinct" }
 // Distinct deduplicates a single child stream. It is inserted above every
 // join when the engine's per-join deduplication ablation is enabled.
 type Distinct struct {
-	child Operator
-	seen  map[Pair]struct{}
-	rows  int
+	child     Operator
+	done      bool
+	d         dedup
+	batchSize int
+	rows      int
+	batches   int
 }
 
-// NewDistinct returns a deduplicating wrapper around child.
+// NewDistinct returns a deduplicating wrapper around child with
+// default-size child batches.
 func NewDistinct(child Operator) *Distinct {
-	return &Distinct{child: child, seen: map[Pair]struct{}{}}
+	return NewDistinctSized(child, DefaultBatchSize)
+}
+
+// NewDistinctSized returns a deduplicating wrapper pulling batchSize
+// pairs per child call.
+func NewDistinctSized(child Operator, batchSize int) *Distinct {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &Distinct{child: child, batchSize: batchSize, d: dedup{seen: map[Pair]struct{}{}}}
 }
 
 func (d *Distinct) children() []Operator { return []Operator{d.child} }
 
-// Next implements Operator.
-func (d *Distinct) Next() (Pair, bool) {
-	for {
-		pr, ok := d.child.Next()
-		if !ok {
-			return Pair{}, false
-		}
-		if _, dup := d.seen[pr]; dup {
-			continue
-		}
-		d.seen[pr] = struct{}{}
-		d.rows++
-		return pr, true
+// NextBatch implements Operator.
+func (d *Distinct) NextBatch(buf []Pair) int {
+	if len(buf) == 0 {
+		return 0
 	}
+	n := 0
+	for {
+		n = d.d.drain(buf, n)
+		if n == len(buf) && len(buf) > 0 {
+			break
+		}
+		if d.done {
+			break
+		}
+		if !d.d.refill(d.child, d.batchSize) {
+			d.done = true
+		}
+	}
+	d.rows += n
+	if n > 0 {
+		d.batches++
+	}
+	return n
 }
 
 // Rows implements Operator.
 func (d *Distinct) Rows() int { return d.rows }
+
+// Batches implements Operator.
+func (d *Distinct) Batches() int { return d.batches }
 
 // Name implements Operator.
 func (d *Distinct) Name() string { return "distinct" }

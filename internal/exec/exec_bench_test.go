@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+)
+
+// benchBatchSizes are the batch sizes compared by the operator
+// micro-benchmarks; batch=1 reproduces the cost profile of the old
+// tuple-at-a-time Volcano interface.
+var benchBatchSizes = []int{1, 64, 1024}
+
+var benchIx = struct {
+	sync.Once
+	ix *pathindex.Index
+}{}
+
+// benchIndex returns a shared k=2 index over a 2000-node, 3-label random
+// graph — large enough that scans and joins stream tens of thousands of
+// pairs per operator invocation.
+func benchIndex(tb testing.TB) *pathindex.Index {
+	if tb != nil {
+		tb.Helper()
+	}
+	benchIx.Do(func() {
+		r := rand.New(rand.NewSource(1))
+		g := graph.New()
+		nodes := 2000
+		g.EnsureNodes(nodes)
+		for _, name := range []string{"a", "b", "c"} {
+			l := g.Label(name)
+			for e := 0; e < 8000; e++ {
+				g.AddEdgeID(graph.NodeID(r.Intn(nodes)), l, graph.NodeID(r.Intn(nodes)))
+			}
+		}
+		g.Freeze()
+		ix, err := pathindex.Build(g, 2, pathindex.BuildOptions{SkipPathsKCount: true})
+		if err != nil {
+			panic(err)
+		}
+		benchIx.ix = ix
+	})
+	return benchIx.ix
+}
+
+// drain pulls op dry with the given batch size, discarding output, and
+// returns the number of pairs produced.
+func drain(op Operator, batchSize int) int {
+	buf := make([]Pair, batchSize)
+	total := 0
+	for {
+		n := op.NextBatch(buf)
+		if n == 0 {
+			return total
+		}
+		total += n
+	}
+}
+
+var benchScanPath = pathindex.Path{graph.Fwd(0), graph.Fwd(1)}
+var benchLeftPath = pathindex.Path{graph.Fwd(0), graph.Inv(1)}
+var benchRightPath = pathindex.Path{graph.Fwd(1), graph.Fwd(2)}
+
+func benchOp(name string, ix *pathindex.Index, batchSize int) Operator {
+	switch name {
+	case "index-scan":
+		return NewIndexScan(ix, benchScanPath, false)
+	case "merge-join":
+		return NewMergeJoinSized(
+			NewIndexScan(ix, benchLeftPath, true),
+			NewIndexScan(ix, benchRightPath, false), batchSize)
+	case "hash-join":
+		return NewHashJoinSized(
+			NewIndexScan(ix, benchLeftPath, false),
+			NewIndexScan(ix, benchRightPath, false), true, batchSize)
+	default:
+		panic("unknown bench operator " + name)
+	}
+}
+
+func benchOperator(b *testing.B, name string) {
+	ix := benchIndex(b)
+	for _, bs := range benchBatchSizes {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			pairs := 0
+			for i := 0; i < b.N; i++ {
+				pairs = drain(benchOp(name, ix, bs), bs)
+			}
+			if pairs == 0 {
+				b.Fatal("benchmark operator produced no pairs")
+			}
+			b.ReportMetric(float64(pairs), "pairs/op")
+		})
+	}
+}
+
+func BenchmarkIndexScan(b *testing.B) { benchOperator(b, "index-scan") }
+func BenchmarkMergeJoin(b *testing.B) { benchOperator(b, "merge-join") }
+func BenchmarkHashJoin(b *testing.B)  { benchOperator(b, "hash-join") }
+
+// execBenchRecord is one row of BENCH_exec.json.
+type execBenchRecord struct {
+	Operator     string  `json:"operator"`
+	BatchSize    int     `json:"batch_size"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	PairsPerOp   int     `json:"pairs_per_op"`
+	MPairsPerSec float64 `json:"mpairs_per_sec"`
+}
+
+type execBenchFile struct {
+	Description string             `json:"description"`
+	Benchmarks  []execBenchRecord  `json:"benchmarks"`
+	Speedup     map[string]float64 `json:"speedup_batch1024_vs_batch1"`
+}
+
+// TestRecordBenchExec measures scan/merge-join/hash-join throughput at
+// each batch size and writes BENCH_exec.json at the repository root. It
+// only runs when RECORD_BENCH is set:
+//
+//	RECORD_BENCH=1 go test ./internal/exec -run TestRecordBenchExec
+func TestRecordBenchExec(t *testing.T) {
+	if os.Getenv("RECORD_BENCH") == "" {
+		t.Skip("set RECORD_BENCH=1 to record BENCH_exec.json")
+	}
+	ix := benchIndex(t)
+	out := execBenchFile{
+		Description: "exec operator micro-benchmarks: pairs drained per second at each batch size " +
+			"(batch=1 emulates the pre-vectorization tuple-at-a-time interface); " +
+			"2000-node 3-label random graph, k=2 index, see internal/exec/exec_bench_test.go",
+		Speedup: map[string]float64{},
+	}
+	for _, name := range []string{"index-scan", "merge-join", "hash-join"} {
+		perBatch := map[int]float64{}
+		for _, bs := range benchBatchSizes {
+			bs := bs
+			var pairs int
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pairs = drain(benchOp(name, ix, bs), bs)
+				}
+			})
+			nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+			mpairs := float64(pairs) / nsPerOp * 1e3
+			perBatch[bs] = mpairs
+			out.Benchmarks = append(out.Benchmarks, execBenchRecord{
+				Operator:     name,
+				BatchSize:    bs,
+				NsPerOp:      nsPerOp,
+				PairsPerOp:   pairs,
+				MPairsPerSec: mpairs,
+			})
+			t.Logf("%s batch=%d: %.0f ns/op, %d pairs, %.1f Mpairs/s", name, bs, nsPerOp, pairs, mpairs)
+		}
+		out.Speedup[name] = perBatch[1024] / perBatch[1]
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_exec.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

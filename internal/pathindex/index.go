@@ -2,10 +2,9 @@ package pathindex
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
-	"repro/internal/btree"
 	"repro/internal/graph"
 )
 
@@ -14,15 +13,26 @@ type Pair struct {
 	Src, Dst graph.NodeID
 }
 
-// packed encodes a pair into a single comparable word whose natural order
-// is (src, dst).
-type packed uint64
+// Packed encodes a pair into a single comparable word whose natural order
+// is (src, dst). The index stores every path relation as a sorted
+// []Packed run; block and range lookups hand out sub-slices of those runs
+// without copying, which is what the batched executor consumes.
+type Packed uint64
 
-func pack(src, dst graph.NodeID) packed { return packed(src)<<32 | packed(dst) }
+// Pack encodes (src, dst) into its packed form.
+func Pack(src, dst graph.NodeID) Packed { return Packed(src)<<32 | Packed(dst) }
 
-func (p packed) src() graph.NodeID { return graph.NodeID(p >> 32) }
-func (p packed) dst() graph.NodeID { return graph.NodeID(p & 0xffffffff) }
-func (p packed) swap() packed      { return pack(p.dst(), p.src()) }
+// Src returns the source component.
+func (p Packed) Src() graph.NodeID { return graph.NodeID(p >> 32) }
+
+// Dst returns the target component.
+func (p Packed) Dst() graph.NodeID { return graph.NodeID(p & 0xffffffff) }
+
+// Swap returns the pair with components exchanged.
+func (p Packed) Swap() Packed { return Pack(p.Dst(), p.Src()) }
+
+// Pair returns the decoded form.
+func (p Packed) Pair() Pair { return Pair{Src: p.Src(), Dst: p.Dst()} }
 
 // BuildOptions configures index construction.
 type BuildOptions struct {
@@ -49,15 +59,20 @@ type BuildStats struct {
 	ComposedPairs int           // raw pairs produced by composition before dedup
 }
 
-// Index is the k-path index I_{G,k}.
+// Index is the k-path index I_{G,k}. Each label path's relation is kept
+// as one sorted, deduplicated []Packed run; scans, prefix lookups, and
+// membership tests are slice walks and binary searches over those runs.
+// (The earlier revisions bulk-loaded the runs into a B+tree dictionary;
+// the sorted arrays subsume every lookup the engine performs and expose
+// zero-copy blocks to the executor.)
 type Index struct {
-	g     *graph.Graph
-	k     int
-	tree  *btree.Tree
-	paths []Path            // path id -> path
-	ids   map[string]uint32 // Path.Key() -> path id
-	count []int             // path id -> |p(G)|
-	stats BuildStats
+	g         *graph.Graph
+	k         int
+	relations [][]Packed        // path id -> sorted pair run
+	paths     []Path            // path id -> path
+	ids       map[string]uint32 // Path.Key() -> path id
+	count     []int             // path id -> |p(G)|
+	stats     BuildStats
 }
 
 // Build constructs I_{G,k} for the frozen graph g. k must be at least 1.
@@ -73,18 +88,17 @@ func Build(g *graph.Graph, k int, opts BuildOptions) (*Index, error) {
 
 	dirs := g.DirLabels()
 
-	// relations[i] is the pair set of path ix.paths[i], sorted by packed
-	// order (src, dst); only the previous level is needed for extension,
-	// but counts and tree entries accumulate for all levels.
-	var relations [][]packed
+	// ix.relations[i] is the pair set of path ix.paths[i], sorted by
+	// packed order (src, dst); only the previous level is needed for
+	// extension, but counts accumulate for all levels.
 	totalEntries := 0
 
-	addPath := func(p Path, rel []packed) uint32 {
+	addPath := func(p Path, rel []Packed) uint32 {
 		id := uint32(len(ix.paths))
 		ix.paths = append(ix.paths, p)
 		ix.ids[p.Key()] = id
 		ix.count = append(ix.count, len(rel))
-		relations = append(relations, rel)
+		ix.relations = append(ix.relations, rel)
 		totalEntries += len(rel)
 		return id
 	}
@@ -108,7 +122,7 @@ func Build(g *graph.Graph, k int, opts BuildOptions) (*Index, error) {
 		levelEnd := len(ix.paths)
 		for pid := levelStart; pid < levelEnd; pid++ {
 			base := ix.paths[pid]
-			baseRel := relations[pid]
+			baseRel := ix.relations[pid]
 			for _, d := range dirs {
 				p := append(append(Path{}, base...), d)
 				if _, dup := ix.ids[p.Key()]; dup {
@@ -117,7 +131,7 @@ func Build(g *graph.Graph, k int, opts BuildOptions) (*Index, error) {
 				// Derive from the inverse relation when available.
 				if !opts.NoDerivedInverses {
 					if invID, ok := ix.ids[p.Inverse().Key()]; ok {
-						rel := swapRelation(relations[invID])
+						rel := swapRelation(ix.relations[invID])
 						addPath(p, rel)
 						ix.stats.DerivedPaths++
 						continue
@@ -136,21 +150,10 @@ func Build(g *graph.Graph, k int, opts BuildOptions) (*Index, error) {
 		levelStart = levelEnd
 	}
 
-	// Bulk-load the ordered dictionary. Path IDs were assigned in
-	// enumeration order and every relation is sorted, so concatenating
-	// yields globally sorted keys.
-	keys := make([]btree.Key, 0, totalEntries)
-	for pid, rel := range relations {
-		for _, pr := range rel {
-			keys = append(keys, btree.Key{Path: uint32(pid), Src: uint32(pr.src()), Dst: uint32(pr.dst())})
-		}
-	}
-	ix.tree = btree.BulkLoad(keys)
-
 	ix.stats.Entries = totalEntries
 	ix.stats.LabelPaths = len(ix.paths)
 	if !opts.SkipPathsKCount {
-		ix.stats.PathsKCount = countDistinctPairs(relations, g.NumNodes())
+		ix.stats.PathsKCount = countDistinctPairs(ix.relations, g.NumNodes())
 	}
 	ix.stats.Duration = time.Since(start)
 	return ix, nil
@@ -158,19 +161,19 @@ func Build(g *graph.Graph, k int, opts BuildOptions) (*Index, error) {
 
 // baseRelation returns the sorted, deduplicated pair list of a single
 // direction-qualified label.
-func baseRelation(g *graph.Graph, d graph.DirLabel) []packed {
+func baseRelation(g *graph.Graph, d graph.DirLabel) []Packed {
 	if !d.IsInverse() {
 		es := g.Edges(d.Label())
-		rel := make([]packed, len(es))
+		rel := make([]Packed, len(es))
 		for i, e := range es {
-			rel[i] = pack(e.Src, e.Dst)
+			rel[i] = Pack(e.Src, e.Dst)
 		}
 		return rel // already sorted and deduplicated by Freeze
 	}
-	var rel []packed
+	var rel []Packed
 	for n := 0; n < g.NumNodes(); n++ {
 		for _, t := range g.Out(graph.NodeID(n), d) {
-			rel = append(rel, pack(graph.NodeID(n), t))
+			rel = append(rel, Pack(graph.NodeID(n), t))
 		}
 	}
 	return rel // node-major iteration over sorted adjacency keeps order
@@ -178,12 +181,12 @@ func baseRelation(g *graph.Graph, d graph.DirLabel) []packed {
 
 // compose returns the sorted, deduplicated relation of p∘d given the
 // relation of p.
-func compose(g *graph.Graph, rel []packed, d graph.DirLabel, stats *BuildStats) []packed {
-	var out []packed
+func compose(g *graph.Graph, rel []Packed, d graph.DirLabel, stats *BuildStats) []Packed {
+	var out []Packed
 	for _, pr := range rel {
-		a, b := pr.src(), pr.dst()
+		a, b := pr.Src(), pr.Dst()
 		for _, c := range g.Out(b, d) {
-			out = append(out, pack(a, c))
+			out = append(out, Pack(a, c))
 		}
 	}
 	stats.ComposedPairs += len(out)
@@ -191,20 +194,20 @@ func compose(g *graph.Graph, rel []packed, d graph.DirLabel, stats *BuildStats) 
 }
 
 // swapRelation returns the relation with all pairs swapped, re-sorted.
-func swapRelation(rel []packed) []packed {
-	out := make([]packed, len(rel))
+func swapRelation(rel []Packed) []Packed {
+	out := make([]Packed, len(rel))
 	for i, pr := range rel {
-		out[i] = pr.swap()
+		out[i] = pr.Swap()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
-func sortDedup(rel []packed) []packed {
+func sortDedup(rel []Packed) []Packed {
 	if len(rel) == 0 {
 		return nil
 	}
-	sort.Slice(rel, func(i, j int) bool { return rel[i] < rel[j] })
+	slices.Sort(rel)
 	out := rel[:1]
 	for _, pr := range rel[1:] {
 		if pr != out[len(out)-1] {
@@ -217,17 +220,17 @@ func sortDedup(rel []packed) []packed {
 // countDistinctPairs computes |paths_k(G)|: the number of distinct node
 // pairs related by any indexed label path, plus the identity pairs (the
 // paper's 0-paths, Section 2.1).
-func countDistinctPairs(relations [][]packed, numNodes int) int {
+func countDistinctPairs(relations [][]Packed, numNodes int) int {
 	total := 0
 	for _, rel := range relations {
 		total += len(rel)
 	}
-	all := make([]packed, 0, total+numNodes)
+	all := make([]Packed, 0, total+numNodes)
 	for _, rel := range relations {
 		all = append(all, rel...)
 	}
 	for n := 0; n < numNodes; n++ {
-		all = append(all, pack(graph.NodeID(n), graph.NodeID(n)))
+		all = append(all, Pack(graph.NodeID(n), graph.NodeID(n)))
 	}
 	return len(sortDedup(all))
 }
@@ -281,59 +284,108 @@ func (ix *Index) AllPaths(fn func(id uint32, p Path, count int)) {
 	}
 }
 
+// Relation returns p(G) as the index's own sorted (src,dst) run. The
+// slice is shared with the index and must not be mutated. Unindexed
+// paths return nil.
+func (ix *Index) Relation(p Path) []Packed {
+	id, ok := ix.ids[p.Key()]
+	if !ok {
+		return nil
+	}
+	return ix.relations[id]
+}
+
+// DefaultBlockSize is the block granularity handed out by Blocks: large
+// enough to amortize per-block bookkeeping, small enough that a block of
+// packed words stays cache-resident while the executor decodes it.
+const DefaultBlockSize = 4096
+
+// BlockIterator yields a sorted relation as consecutive zero-copy
+// []Packed blocks. The blocks alias the index storage and must not be
+// mutated.
+type BlockIterator struct {
+	rel  []Packed
+	off  int
+	size int
+}
+
+// Next returns the next block, or nil at exhaustion.
+func (bi *BlockIterator) Next() []Packed {
+	if bi.off >= len(bi.rel) {
+		return nil
+	}
+	end := bi.off + bi.size
+	if end > len(bi.rel) {
+		end = len(bi.rel)
+	}
+	b := bi.rel[bi.off:end:end]
+	bi.off = end
+	return b
+}
+
+// Blocks returns a BlockIterator over p(G) with DefaultBlockSize blocks.
+// Scanning an unindexed path yields an empty iterator. This is the
+// paper's I_{G,k}(⟨p⟩) prefix lookup in bulk form.
+func (ix *Index) Blocks(p Path) *BlockIterator {
+	return ix.BlocksSized(p, DefaultBlockSize)
+}
+
+// BlocksSized returns a BlockIterator over p(G) with the given block
+// size (minimum 1).
+func (ix *Index) BlocksSized(p Path, blockSize int) *BlockIterator {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	return &BlockIterator{rel: ix.Relation(p), size: blockSize}
+}
+
+// SrcRange returns the contiguous sub-run of p(G) whose pairs have
+// Src == src, located by binary search: the paper's I_{G,k}(⟨p, a⟩)
+// prefix lookup as a zero-copy slice.
+func (ix *Index) SrcRange(p Path, src graph.NodeID) []Packed {
+	rel := ix.Relation(p)
+	lo, _ := slices.BinarySearch(rel, Pack(src, 0))
+	hi := len(rel)
+	if src < ^graph.NodeID(0) { // src+1 would overflow the packed prefix
+		hi, _ = slices.BinarySearch(rel, Pack(src+1, 0))
+	}
+	return rel[lo:hi:hi]
+}
+
 // PairIterator streams the pairs of one label path in (src,dst) order.
+// It remains as the tuple-at-a-time view over the same sorted runs the
+// block API exposes; the batched executor uses Blocks instead.
 type PairIterator struct {
-	it       *btree.Iterator
-	pathID   uint32
-	limit    btree.Key
-	hasLimit bool
-	empty    bool
+	rel []Packed
+	i   int
 }
 
 // Next returns the next pair, with ok=false at exhaustion.
 func (pi *PairIterator) Next() (Pair, bool) {
-	if pi.empty {
+	if pi.i >= len(pi.rel) {
 		return Pair{}, false
 	}
-	k, ok := pi.it.Next()
-	if !ok || k.Path != pi.pathID || (pi.hasLimit && !k.Less(pi.limit)) {
-		return Pair{}, false
-	}
-	return Pair{Src: graph.NodeID(k.Src), Dst: graph.NodeID(k.Dst)}, true
+	pr := pi.rel[pi.i]
+	pi.i++
+	return pr.Pair(), true
 }
 
 // Scan returns an iterator over p(G) in (src,dst) order. Scanning an
-// unindexed path yields an empty iterator. This is the paper's
-// I_{G,k}(⟨p⟩) prefix lookup.
+// unindexed path yields an empty iterator.
 func (ix *Index) Scan(p Path) *PairIterator {
-	id, ok := ix.ids[p.Key()]
-	if !ok {
-		return &PairIterator{empty: true}
-	}
-	return &PairIterator{it: ix.tree.Seek(btree.Key{Path: id}), pathID: id}
+	return &PairIterator{rel: ix.Relation(p)}
 }
 
 // ScanFrom returns an iterator over the pairs of p with Src == src, in
-// dst order: the paper's I_{G,k}(⟨p, a⟩) prefix lookup.
+// dst order.
 func (ix *Index) ScanFrom(p Path, src graph.NodeID) *PairIterator {
-	id, ok := ix.ids[p.Key()]
-	if !ok {
-		return &PairIterator{empty: true}
-	}
-	return &PairIterator{
-		it:       ix.tree.Seek(btree.Key{Path: id, Src: uint32(src)}),
-		pathID:   id,
-		limit:    btree.Key{Path: id, Src: uint32(src) + 1},
-		hasLimit: true,
-	}
+	return &PairIterator{rel: ix.SrcRange(p, src)}
 }
 
 // Contains reports whether (src,dst) ∈ p(G): the paper's full-key
-// I_{G,k}(⟨p, a, b⟩) lookup.
+// I_{G,k}(⟨p, a, b⟩) lookup, a binary search on the sorted run.
 func (ix *Index) Contains(p Path, src, dst graph.NodeID) bool {
-	id, ok := ix.ids[p.Key()]
-	if !ok {
-		return false
-	}
-	return ix.tree.Contains(btree.Key{Path: id, Src: uint32(src), Dst: uint32(dst)})
+	rel := ix.Relation(p)
+	_, found := slices.BinarySearch(rel, Pack(src, dst))
+	return found
 }

@@ -8,9 +8,12 @@
 // obtained by extending the relation of p with one adjacency step of d,
 // deduplicating pairs (path semantics are set-of-pairs, Section 2.2).
 // Relations of inverse paths are derived by swapping pair components
-// rather than recomputed. The final sorted runs are bulk-loaded into the
-// B+tree, mirroring how the paper's prototype populates its PostgreSQL
-// table.
+// rather than recomputed. The final sorted runs are the storage: where
+// the paper's prototype bulk-loads a PostgreSQL B+tree, this index keeps
+// each relation as one sorted packed array and serves prefix scans,
+// ⟨p, a⟩ range lookups, and membership tests by slicing and binary
+// search — which also lets the executor borrow whole blocks of a
+// relation without copying (see Index.Blocks).
 package pathindex
 
 import (

@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/btree"
 	"repro/internal/graph"
 )
 
@@ -97,19 +96,14 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	}
 	written := 0
 	for pid := range ix.paths {
-		it := ix.Scan(ix.paths[pid])
-		for {
-			pr, ok := it.Next()
-			if !ok {
-				break
-			}
+		for _, pr := range ix.relations[pid] {
 			if err := write(uint32(pid)); err != nil {
 				return n, err
 			}
-			if err := write(uint32(pr.Src)); err != nil {
+			if err := write(uint32(pr.Src())); err != nil {
 				return n, err
 			}
-			if err := write(uint32(pr.Dst)); err != nil {
+			if err := write(uint32(pr.Dst())); err != nil {
 				return n, err
 			}
 			written++
@@ -230,8 +224,13 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 	if err := read(&numEntries); err != nil {
 		return nil, err
 	}
-	keys := make([]btree.Key, numEntries)
-	for i := range keys {
+	ix.relations = make([][]Packed, numPaths)
+	for i, c := range ix.count {
+		ix.relations[i] = make([]Packed, 0, c)
+	}
+	prevPid := uint32(0)
+	var prev Packed
+	for i := 0; i < int(numEntries); i++ {
 		var pid, src, dst uint32
 		if err := read(&pid); err != nil {
 			return nil, fmt.Errorf("pathindex: entry %d: %w", i, err)
@@ -245,10 +244,12 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 		if pid >= numPaths {
 			return nil, fmt.Errorf("pathindex: entry %d references path %d of %d", i, pid, numPaths)
 		}
-		keys[i] = btree.Key{Path: pid, Src: src, Dst: dst}
-		if i > 0 && !keys[i-1].Less(keys[i]) {
+		pr := Pack(graph.NodeID(src), graph.NodeID(dst))
+		if i > 0 && (pid < prevPid || (pid == prevPid && pr <= prev)) {
 			return nil, fmt.Errorf("pathindex: entries out of order at %d", i)
 		}
+		ix.relations[pid] = append(ix.relations[pid], pr)
+		prevPid, prev = pid, pr
 	}
 	tail := make([]byte, 4)
 	if _, err := io.ReadFull(br, tail); err != nil {
@@ -257,20 +258,15 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 	if string(tail) != trailer {
 		return nil, fmt.Errorf("pathindex: bad trailer %q (truncated file?)", tail)
 	}
-	ix.tree = btree.BulkLoad(keys)
 	ix.stats = BuildStats{
 		Entries:     int(numEntries),
 		LabelPaths:  int(numPaths),
 		PathsKCount: int(pathsK),
 	}
 	// Per-path counts must be consistent with the entries.
-	perPath := make([]int, numPaths)
-	for _, key := range keys {
-		perPath[key.Path]++
-	}
 	for i, want := range ix.count {
-		if perPath[i] != want {
-			return nil, fmt.Errorf("pathindex: path %d has %d entries, header claims %d", i, perPath[i], want)
+		if len(ix.relations[i]) != want {
+			return nil, fmt.Errorf("pathindex: path %d has %d entries, header claims %d", i, len(ix.relations[i]), want)
 		}
 	}
 	return ix, nil
