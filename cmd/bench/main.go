@@ -5,28 +5,40 @@
 //
 // Usage:
 //
-//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile]
+//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve]
 //	      [-scale 1.0] [-seed 1] [-runs 3] [-buckets 64]
+//	      [-clients 8] [-servedur 2s] [-serveout BENCH_serve.json]
 //
 // Full scale (-scale 1.0) matches the published Advogato dimensions and
 // takes a few minutes, dominated by the k=3 index build; -scale 0.25
 // runs in seconds.
+//
+// The serve experiment (also selected implicitly by passing any of
+// -clients, -servedur, or -serveout with -experiment all) drives N
+// concurrent clients of Zipf-skewed traffic through the plan-cached
+// serving layer, measuring client counts 1, 2, 4, ... up to -clients
+// plus an uncached single-client baseline, and writes the JSON report
+// to -serveout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile")
+	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile, serve")
 	scale := flag.Float64("scale", 1.0, "Advogato scale factor in (0,1]")
 	seed := flag.Int64("seed", 1, "generator seed")
 	runs := flag.Int("runs", 3, "samples per measurement (median reported)")
 	buckets := flag.Int("buckets", 64, "equi-depth histogram buckets (0 = exact)")
+	clients := flag.Int("clients", 8, "serve: maximum concurrent clients (measures 1,2,4,... up to this)")
+	servedur := flag.Duration("servedur", 2*time.Second, "serve: measured window per client count")
+	serveout := flag.String("serveout", "BENCH_serve.json", "serve: JSON report output path")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -37,10 +49,62 @@ func main() {
 		HistogramBuckets: *buckets,
 	}
 
-	if err := run(*experiment, cfg); err != nil {
+	what := *experiment
+	if what == "all" && (flagPassed("clients") || flagPassed("servedur") || flagPassed("serveout")) {
+		what = "serve"
+	}
+	if what == "serve" {
+		if err := runServe(cfg, *clients, *servedur, *serveout); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(what, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+// clientCounts returns 1, 2, 4, ... up to and including max.
+func clientCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for n := 1; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, max)
+}
+
+func runServe(cfg bench.Config, clients int, dur time.Duration, out string) error {
+	rep, table, err := bench.Serve(bench.ServeConfig{
+		Config:   cfg,
+		Clients:  clientCounts(clients),
+		Duration: dur,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.String())
+	if out != "" {
+		if err := bench.WriteServeReport(rep, out); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
 }
 
 func run(experiment string, cfg bench.Config) error {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/reachability"
+	"repro/internal/rewrite"
+	"repro/internal/rpq"
+)
+
+// TestDifferentialRandomQueries is the property-based differential test
+// of the serving layer: random RPQs must produce identical sorted result
+// sets with the plan cache on and off, under all four strategies. The
+// cached server is queried twice per (query, strategy) so both the miss
+// path and the hit path are compared.
+func TestDifferentialRandomQueries(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(21)), 40, 120, []string{"a", "b", "c"})
+	e := newTestEngine(t, g, 2)
+	cached := e.Serve(ServeOptions{CacheCapacity: 64})
+	uncached := e.Serve(ServeOptions{CacheCapacity: -1})
+
+	r := rand.New(rand.NewSource(22))
+	genOpts := rpq.DefaultGenOptions([]string{"a", "b", "c"})
+	checked := 0
+	const iterations = 60
+	for i := 0; i < iterations; i++ {
+		expr := rpq.Generate(r, genOpts)
+		text := expr.String()
+		var want []pathindex.Pair
+		ok := true
+		for _, strat := range plan.Strategies() {
+			off, err := e.Eval(expr, strat)
+			if err != nil {
+				var le *rewrite.LimitError
+				if errors.As(err, &le) {
+					ok = false // too large to expand; skip this expression
+					break
+				}
+				t.Fatalf("cache-off eval of %q: %v", text, err)
+			}
+			offSorted := sortedPairs(off.Pairs)
+			if want == nil {
+				want = offSorted
+			} else if !slices.Equal(offSorted, want) {
+				t.Fatalf("strategy %v disagrees with baseline on %q", strat, text)
+			}
+			for round := 0; round < 2; round++ { // miss, then hit
+				on, err := cached.Query(text, strat)
+				if err != nil {
+					t.Fatalf("cached eval of %q: %v", text, err)
+				}
+				if !slices.Equal(sortedPairs(on.Pairs), want) {
+					t.Fatalf("cache-on (round %d) disagrees with cache-off on %q under %v", round, text, strat)
+				}
+			}
+			un, err := uncached.Query(text, strat)
+			if err != nil {
+				t.Fatalf("uncached server eval of %q: %v", text, err)
+			}
+			if !slices.Equal(sortedPairs(un.Pairs), want) {
+				t.Fatalf("cache-disabled server disagrees with engine on %q under %v", text, strat)
+			}
+		}
+		if ok {
+			checked++
+		}
+	}
+	if checked < iterations/2 {
+		t.Fatalf("only %d/%d random queries were checkable; generator or limits changed?", checked, iterations)
+	}
+	if hr := cached.Stats().HitRate(); hr < 0.5 {
+		t.Errorf("cached server hit rate = %.2f; the hit path was barely exercised", hr)
+	}
+}
+
+// TestDifferentialReachability compares the engine (cache on and off,
+// all strategies) against the reachability-index baseline on the
+// (l1|...|lm)* query shapes that baseline supports. The graph is small
+// enough that the default star bound n(G) makes bounded expansion exact.
+func TestDifferentialReachability(t *testing.T) {
+	// Small n keeps the default star bound n(G) — and with it the 2^n(G)
+	// disjunct expansion of (a|b)* — manageable while staying exact.
+	g := randomGraph(rand.New(rand.NewSource(23)), 8, 12, []string{"a", "b"})
+	e := newTestEngine(t, g, 2)
+	srv := e.Serve(ServeOptions{CacheCapacity: 32})
+
+	for _, text := range []string{"a*", "b*", "(a|b)*", "(a|b^-)*"} {
+		expr := rpq.MustParse(text)
+		want, err := reachability.Eval(expr, g)
+		if err != nil {
+			t.Fatalf("reachability baseline rejected %q: %v", text, err)
+		}
+		wantSorted := sortedPairs(want)
+		for _, strat := range plan.Strategies() {
+			off, err := e.Eval(expr, strat)
+			if err != nil {
+				t.Fatalf("engine eval of %q under %v: %v", text, strat, err)
+			}
+			if !slices.Equal(sortedPairs(off.Pairs), wantSorted) {
+				t.Errorf("engine (cache off) disagrees with reachability on %q under %v", text, strat)
+			}
+			for round := 0; round < 2; round++ {
+				on, err := srv.Query(text, strat)
+				if err != nil {
+					t.Fatalf("served eval of %q under %v: %v", text, strat, err)
+				}
+				if !slices.Equal(sortedPairs(on.Pairs), wantSorted) {
+					t.Errorf("engine (cache on, round %d) disagrees with reachability on %q under %v", round, text, strat)
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,18 @@
 // level, (3) generate a physical plan per disjunct under one of the four
 // strategies (naive, semiNaive, minSupport, minJoin), then execute the
 // operator tree and deduplicate the union of the disjunct results.
+//
+// # Concurrency
+//
+// An Engine is immutable after construction: the graph, index, and
+// histogram are never written again, and every evaluation entry point
+// (Compile, Eval, EvalQuery, EvalFrom, Prepared.Execute,
+// Prepared.ExecuteParallel) builds its executor state — operator trees,
+// batch buffers, dedup sets, statistics — per call. All of them are safe
+// for concurrent use by any number of goroutines over one Engine, as is
+// sharing a single Prepared across goroutines (each Execute call gets a
+// fresh operator tree). Engine.Serve adds a plan cache on top for
+// serving repeated queries cheaply.
 package core
 
 import (
@@ -54,7 +66,9 @@ type Options struct {
 	NoDerivedInverses bool
 }
 
-// Engine evaluates RPQs over one indexed graph.
+// Engine evaluates RPQs over one indexed graph. All fields are frozen by
+// construction, so one Engine may serve any number of concurrent
+// callers; see the package comment for the full contract.
 type Engine struct {
 	g    *graph.Graph
 	ix   *pathindex.Index
@@ -138,6 +152,13 @@ type Stats struct {
 	// counts the batches merged at the top level — do not compare the
 	// two directly.
 	TotalBatches int
+	// CacheHit reports that the query's plan was served from a Server's
+	// plan cache; PlanTime is then zero (planning was not repeated) and
+	// RewriteTime covers only rewrite work this request actually did —
+	// zero for exact-text hits, the measured normalization time for
+	// canonical-form hits. PlanCost, PlanCard, and the disjunct counts
+	// describe the cached compilation.
+	CacheHit bool
 }
 
 // Result is a query answer: the set R(G) sorted in stream order
@@ -149,7 +170,8 @@ type Result struct {
 
 // Prepared is a compiled query: rewritten, resolved, and planned, ready
 // for (repeated) execution. Benchmarks use it to separate planning from
-// execution cost.
+// execution cost. A Prepared is immutable and may be executed by many
+// goroutines at once; every Execute builds its own operator tree.
 type Prepared struct {
 	engine   *Engine
 	plan     *plan.Plan
@@ -157,24 +179,38 @@ type Prepared struct {
 	strategy plan.Strategy
 }
 
+// rewriteOptions returns the engine's expansion limits, defaulting the
+// star bound to the node count (the paper's n(G) observation).
+func (e *Engine) rewriteOptions() rewrite.Options {
+	starBound := e.opts.StarBound
+	if starBound == 0 {
+		starBound = e.g.NumNodes()
+	}
+	return rewrite.Options{
+		StarBound:     starBound,
+		MaxDisjuncts:  e.opts.MaxDisjuncts,
+		MaxPathLength: e.opts.MaxPathLength,
+	}
+}
+
 // Compile parses nothing (the expression is already an AST) but performs
 // rewriting, label resolution, and planning under the given strategy.
 func (e *Engine) Compile(expr rpq.Expr, strategy plan.Strategy) (*Prepared, error) {
 	var st Stats
 	t0 := time.Now()
-	starBound := e.opts.StarBound
-	if starBound == 0 {
-		starBound = e.g.NumNodes()
-	}
-	norm, err := rewrite.Normalize(expr, rewrite.Options{
-		StarBound:     starBound,
-		MaxDisjuncts:  e.opts.MaxDisjuncts,
-		MaxPathLength: e.opts.MaxPathLength,
-	})
+	norm, err := rewrite.Normalize(expr, e.rewriteOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: rewriting query: %w", err)
 	}
 	st.RewriteTime = time.Since(t0)
+	return e.compileNormal(norm, strategy, st)
+}
+
+// compileNormal performs label resolution and planning for an
+// already-normalized query, continuing the statistics started by the
+// caller (which holds at least the rewrite time). It is the shared tail
+// of Compile and the Server's cache-miss path.
+func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st Stats) (*Prepared, error) {
 	st.HasEpsilon = norm.HasEpsilon
 
 	// Resolve disjuncts against the graph vocabulary; paths mentioning

@@ -22,15 +22,7 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 	if int(src) >= e.g.NumNodes() {
 		return nil, fmt.Errorf("core: source node %d out of range", src)
 	}
-	starBound := e.opts.StarBound
-	if starBound == 0 {
-		starBound = e.g.NumNodes()
-	}
-	norm, err := rewrite.Normalize(expr, rewrite.Options{
-		StarBound:     starBound,
-		MaxDisjuncts:  e.opts.MaxDisjuncts,
-		MaxPathLength: e.opts.MaxPathLength,
-	})
+	norm, err := rewrite.Normalize(expr, e.rewriteOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: rewriting query: %w", err)
 	}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/plancache"
+	"repro/internal/rewrite"
+	"repro/internal/rpq"
+)
+
+// ServeOptions configures Engine.Serve.
+type ServeOptions struct {
+	// CacheCapacity is the approximate number of compiled plans the
+	// server retains across all shards. 0 uses
+	// plancache.DefaultCapacity; a negative value disables caching
+	// entirely (every request pays the full rewrite+plan pipeline).
+	CacheCapacity int
+	// CacheShards is the lock-sharding factor of the plan cache,
+	// rounded up to a power of two. 0 uses plancache.DefaultShards.
+	CacheShards int
+}
+
+// cachedPlan is the unit the serving layer memoizes: the physical plan
+// plus the compile-time statistics that describe it. The plan is
+// immutable once planned (execution builds fresh operator trees from
+// it), so one cachedPlan may back any number of concurrent executions.
+// canonKey remembers the canonical-tier key so text-tier hits can
+// refresh the shared entry's recency.
+type cachedPlan struct {
+	plan     *plan.Plan
+	stats    Stats
+	canonKey string
+}
+
+// prepared wraps the cached compilation for one request, with the
+// per-request statistics adjusted: CacheHit is set and the times are
+// zeroed (callers that did re-run the rewrite restore RewriteTime).
+func (cp *cachedPlan) prepared(e *Engine, strategy plan.Strategy) *Prepared {
+	st := cp.stats
+	st.CacheHit = true
+	st.RewriteTime, st.PlanTime = 0, 0
+	return &Prepared{engine: e, plan: cp.plan, stats: st, strategy: strategy}
+}
+
+// Server is the engine's concurrent query-serving front end: a
+// thread-safe facade over one immutable Engine plus a sharded LRU cache
+// that memoizes the rewrite+plan pipeline per (query, strategy). All
+// methods are safe for concurrent use by any number of client
+// goroutines.
+//
+// The cache has two key tiers. Exact query text hits skip the whole
+// pipeline (parse, rewrite, plan). On a text miss, the query is
+// normalized and looked up under its canonical union-normal form
+// (rewrite.Normal.CanonicalKey), so syntactically different but
+// semantically equal queries — "a/b|c" and "c|a/b" — share one compiled
+// plan; the exact text is then aliased to the shared entry for next
+// time. Both tiers are keyed per strategy, since the plan depends on it.
+type Server struct {
+	e     *Engine
+	cache *plancache.Cache[*cachedPlan] // nil when caching is disabled
+
+	requests   atomic.Int64 // all Prepare/Query entries
+	planBuilds atomic.Int64 // full misses that ran the planner
+	errors     atomic.Int64 // requests that failed (parse/rewrite/plan)
+}
+
+// Serve returns a concurrent serving front end over the engine. Multiple
+// servers over one engine are independent (each has its own cache).
+func (e *Engine) Serve(opts ServeOptions) *Server {
+	s := &Server{e: e}
+	if opts.CacheCapacity >= 0 {
+		s.cache = plancache.New[*cachedPlan](opts.CacheCapacity, opts.CacheShards)
+	}
+	return s
+}
+
+// Engine returns the served engine.
+func (s *Server) Engine() *Engine { return s.e }
+
+// key builds a cache key scoped by strategy; the NUL separator cannot
+// occur in query syntax, so strategies never alias.
+func key(text string, strategy plan.Strategy) string {
+	return strategy.String() + "\x00" + text
+}
+
+// Prepare returns a compiled query, served from the plan cache when
+// possible. The returned Prepared may be executed concurrently.
+func (s *Server) Prepare(query string, strategy plan.Strategy) (*Prepared, error) {
+	s.requests.Add(1)
+	textKey := key(query, strategy)
+	if s.cache != nil {
+		if cp, ok := s.cache.Get(textKey); ok {
+			if cp.canonKey != textKey {
+				// Keep the shared canonical entry hot too: otherwise
+				// steady traffic through one text alias would let the
+				// canonical entry drift to the LRU tail and evict,
+				// forcing a replan for the next new spelling. If it
+				// was already evicted, reinstate it.
+				if _, live := s.cache.Get(cp.canonKey); !live {
+					s.cache.Put(cp.canonKey, cp)
+				}
+			}
+			return cp.prepared(s.e, strategy), nil
+		}
+	}
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	prep, err := s.prepareExpr(expr, textKey, strategy)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	return prep, nil
+}
+
+// PrepareExpr is Prepare for an already-parsed expression. Only the
+// canonical-form cache tier applies (there is no query text to alias).
+func (s *Server) PrepareExpr(expr rpq.Expr, strategy plan.Strategy) (*Prepared, error) {
+	s.requests.Add(1)
+	prep, err := s.prepareExpr(expr, "", strategy)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	return prep, nil
+}
+
+func (s *Server) prepareExpr(expr rpq.Expr, textKey string, strategy plan.Strategy) (*Prepared, error) {
+	var st Stats
+	t0 := time.Now()
+	norm, err := rewrite.Normalize(expr, s.e.rewriteOptions())
+	if err != nil {
+		return nil, fmt.Errorf("core: rewriting query: %w", err)
+	}
+	st.RewriteTime = time.Since(t0)
+	canonKey := key(norm.CanonicalKey(), strategy)
+	if s.cache != nil {
+		if cp, ok := s.cache.Get(canonKey); ok {
+			if textKey != "" && textKey != canonKey {
+				s.cache.Put(textKey, cp)
+			}
+			prep := cp.prepared(s.e, strategy)
+			// Unlike a text-tier hit, this request did run the
+			// rewrite (to compute the canonical key); keep the time
+			// actually spent so telemetry stays truthful.
+			prep.stats.RewriteTime = st.RewriteTime
+			return prep, nil
+		}
+	}
+	prep, err := s.e.compileNormal(norm, strategy, st)
+	if err != nil {
+		return nil, err
+	}
+	s.planBuilds.Add(1)
+	if s.cache != nil {
+		// Two goroutines racing on the same fresh query may both plan
+		// and insert; the entries are equivalent, so last-write-wins is
+		// harmless (both show up in PlanBuilds).
+		cp := &cachedPlan{plan: prep.plan, stats: prep.stats, canonKey: canonKey}
+		s.cache.Put(canonKey, cp)
+		if textKey != "" && textKey != canonKey {
+			s.cache.Put(textKey, cp)
+		}
+	}
+	return prep, nil
+}
+
+// Query prepares (via the cache) and executes a textual query.
+func (s *Server) Query(query string, strategy plan.Strategy) (*Result, error) {
+	prep, err := s.Prepare(query, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Execute()
+}
+
+// Eval prepares (via the cache) and executes a parsed expression.
+func (s *Server) Eval(expr rpq.Expr, strategy plan.Strategy) (*Result, error) {
+	prep, err := s.PrepareExpr(expr, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Execute()
+}
+
+// ServeStats describes a server's request traffic and cache behavior.
+type ServeStats struct {
+	// Requests counts Prepare/PrepareExpr/Query/Eval entries.
+	Requests int64
+	// PlanBuilds counts requests that ran the full rewrite+plan
+	// pipeline (cache misses, or all requests when caching is off).
+	PlanBuilds int64
+	// Errors counts requests that failed before execution.
+	Errors int64
+	// Cache holds the plan cache's own counters. Note that one request
+	// may perform several lookups (text tier, canonical tier, and a
+	// recency refresh of the canonical entry on text-tier hits), so
+	// Cache.Hits+Cache.Misses exceeds Requests; use HitRate for the
+	// request-level rate.
+	Cache plancache.Stats
+}
+
+// HitRate returns the fraction of requests served without running the
+// planner: (Requests - PlanBuilds - Errors) / Requests, clamped to
+// [0, 1] (a snapshot taken during traffic can be slightly skewed).
+// Zero before any request.
+func (st ServeStats) HitRate() float64 {
+	if st.Requests == 0 {
+		return 0
+	}
+	hits := st.Requests - st.PlanBuilds - st.Errors
+	if hits < 0 {
+		hits = 0
+	}
+	return float64(hits) / float64(st.Requests)
+}
+
+// Stats returns a snapshot of the server's counters. The counters are
+// read without a common lock: a snapshot taken while requests are in
+// flight is internally consistent only up to those in-flight requests.
+// PlanBuilds and Errors are loaded before Requests so a concurrent
+// request cannot make them exceed Requests in the snapshot.
+func (s *Server) Stats() ServeStats {
+	st := ServeStats{
+		PlanBuilds: s.planBuilds.Load(),
+		Errors:     s.errors.Load(),
+	}
+	st.Requests = s.requests.Load()
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}

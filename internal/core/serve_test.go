@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func TestServeCacheHit(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 50, 150, []string{"a", "b"})
+	e := newTestEngine(t, g, 2)
+	s := e.Serve(ServeOptions{CacheCapacity: 16})
+
+	r1, err := s.Query("a/b|a", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.CacheHit {
+		t.Error("first request reported CacheHit")
+	}
+	r2, err := s.Query("a/b|a", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Stats.CacheHit {
+		t.Error("repeat of identical text missed the cache")
+	}
+	if r2.Stats.RewriteTime != 0 || r2.Stats.PlanTime != 0 {
+		t.Error("cache hit should report zero rewrite/plan time")
+	}
+	// Semantically equal, syntactically different: canonical tier hit.
+	r3, err := s.Query("a|a/b", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Stats.CacheHit {
+		t.Error("semantically equal query missed the canonical cache tier")
+	}
+	if r3.Stats.RewriteTime == 0 {
+		t.Error("canonical-tier hit should keep the rewrite time it actually spent")
+	}
+	if r3.Stats.PlanTime != 0 {
+		t.Error("canonical-tier hit should report zero plan time")
+	}
+	if !pairsEqualAsSets(r1, r3) {
+		t.Error("cached plan produced different answers")
+	}
+	// The exact text was aliased: the next identical request hits the
+	// text tier without rewriting.
+	before := s.Stats()
+	if _, err := s.Query("a|a/b", plan.MinSupport); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.PlanBuilds != before.PlanBuilds {
+		t.Error("aliased text triggered a replan")
+	}
+
+	st := s.Stats()
+	if st.Requests != 4 || st.PlanBuilds != 1 || st.Errors != 0 {
+		t.Errorf("ServeStats = %+v, want requests=4 planBuilds=1 errors=0", st)
+	}
+	if hr := st.HitRate(); hr != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", hr)
+	}
+}
+
+func TestServeStrategiesDoNotAlias(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(2)), 40, 120, []string{"a", "b"})
+	e := newTestEngine(t, g, 2)
+	s := e.Serve(ServeOptions{CacheCapacity: 16})
+	if _, err := s.Query("a/b/a", plan.Naive); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("a/b/a", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHit {
+		t.Error("different strategy hit the other strategy's plan")
+	}
+	prep, err := s.Prepare("a/b/a", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prep.Plan().Strategy; got != plan.MinSupport {
+		t.Errorf("cached plan strategy = %v, want minSupport", got)
+	}
+}
+
+func TestServeCacheDisabled(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 30, 80, []string{"a"})
+	e := newTestEngine(t, g, 1)
+	s := e.Serve(ServeOptions{CacheCapacity: -1})
+	for i := 0; i < 3; i++ {
+		res, err := s.Query("a/a", plan.SemiNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.CacheHit {
+			t.Error("disabled cache reported a hit")
+		}
+	}
+	st := s.Stats()
+	if st.Requests != 3 || st.PlanBuilds != 3 {
+		t.Errorf("ServeStats = %+v, want requests=3 planBuilds=3", st)
+	}
+	if st.HitRate() != 0 {
+		t.Errorf("HitRate = %v, want 0", st.HitRate())
+	}
+}
+
+func TestServeErrorsCounted(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(4)), 20, 40, []string{"a"})
+	e := newTestEngine(t, g, 1)
+	s := e.Serve(ServeOptions{})
+	if _, err := s.Query("a{", plan.Naive); err == nil {
+		t.Fatal("parse error expected")
+	}
+	st := s.Stats()
+	if st.Errors != 1 || st.PlanBuilds != 0 {
+		t.Errorf("ServeStats = %+v, want errors=1 planBuilds=0", st)
+	}
+	if st.HitRate() != 0 {
+		t.Errorf("HitRate = %v, want 0 (errors are not hits)", st.HitRate())
+	}
+}
+
+func TestServeMatchesEngine(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(5)), 60, 200, []string{"a", "b", "c"})
+	e := newTestEngine(t, g, 2)
+	s := e.Serve(ServeOptions{CacheCapacity: 8})
+	queries := []string{"a/b", "a|b/c", "(a|b){1,2}", "c^-/a", "a?"}
+	for round := 0; round < 2; round++ { // second round comes from cache
+		for _, q := range queries {
+			for _, strat := range plan.Strategies() {
+				want, err := e.EvalQuery(q, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Query(q, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pairsEqualAsSets(want, got) {
+					t.Errorf("round %d: %s under %v: served answer differs from engine", round, q, strat)
+				}
+			}
+		}
+	}
+}
+
+func pairsEqualAsSets(a, b *Result) bool {
+	as, bs := pairSet(a.Pairs), pairSet(b.Pairs)
+	if len(as) != len(bs) {
+		return false
+	}
+	for p := range as {
+		if !bs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestServeCanonicalReinstatedAfterEviction(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(6)), 30, 80, []string{"a", "b", "c"})
+	e := newTestEngine(t, g, 2)
+	// One shard of capacity 2: "c|a/b" occupies both slots (canonical
+	// entry + text alias).
+	s := e.Serve(ServeOptions{CacheCapacity: 2, CacheShards: 1})
+	if _, err := s.Query("c|a/b", plan.MinSupport); err != nil {
+		t.Fatal(err)
+	}
+	// "b" is its own canonical form (one entry); inserting it evicts
+	// the LRU slot — the first query's canonical entry.
+	if _, err := s.Query("b", plan.MinSupport); err != nil {
+		t.Fatal(err)
+	}
+	// Text-tier hit must reinstate the evicted canonical entry...
+	res, err := s.Query("c|a/b", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.CacheHit {
+		t.Fatal("text alias missed unexpectedly")
+	}
+	// ...so a new spelling of the same query still avoids a replan.
+	before := s.Stats().PlanBuilds
+	res, err = s.Query("a/b|c", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.CacheHit {
+		t.Error("new spelling missed: canonical entry was not reinstated")
+	}
+	if got := s.Stats().PlanBuilds; got != before {
+		t.Errorf("PlanBuilds rose from %d to %d; want no replan", before, got)
+	}
+}

@@ -1,0 +1,225 @@
+// Package plancache provides a sharded, thread-safe LRU cache used by
+// the serving layer to memoize the rewrite+plan pipeline per query. The
+// expensive per-query work of Section 4 — expansion to union normal form
+// and strategy-based plan search — is pure with respect to a frozen
+// index, so semantically equal queries can share one compiled plan. Keys
+// are strings (the serving layer uses both exact query text and the
+// canonical normal form of internal/rewrite); values are opaque to the
+// cache.
+//
+// The cache is sharded: a key is hashed to one of several independently
+// locked LRU shards, so concurrent clients contend only when their keys
+// collide on a shard. Each shard maintains its own recency list and
+// hit/miss/eviction counters; Stats sums them.
+package plancache
+
+import "sync"
+
+// Default sizing for callers that pass zero values.
+const (
+	DefaultCapacity = 1024
+	DefaultShards   = 8
+)
+
+// Stats are cache counters, aggregated over shards by Cache.Stats.
+type Stats struct {
+	Hits       int64 // lookups that found an entry
+	Misses     int64 // lookups that found nothing
+	Insertions int64 // entries added (not counting value updates)
+	Evictions  int64 // entries removed by capacity pressure
+	Entries    int64 // entries currently resident
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// node is an entry in a shard's intrusive doubly-linked recency list.
+type node[V any] struct {
+	key        string
+	val        V
+	prev, next *node[V]
+}
+
+// shard is one independently locked LRU. The list is circular through
+// the sentinel: sentinel.next is most recent, sentinel.prev least.
+type shard[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*node[V]
+	sentinel node[V]
+
+	hits, misses, insertions, evictions int64
+}
+
+func (s *shard[V]) init(capacity int) {
+	s.capacity = capacity
+	s.entries = make(map[string]*node[V], capacity)
+	s.sentinel.prev = &s.sentinel
+	s.sentinel.next = &s.sentinel
+}
+
+func (s *shard[V]) unlink(n *node[V]) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (s *shard[V]) pushFront(n *node[V]) {
+	n.prev = &s.sentinel
+	n.next = s.sentinel.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+func (s *shard[V]) get(key string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		var zero V
+		return zero, false
+	}
+	s.hits++
+	s.unlink(n)
+	s.pushFront(n)
+	return n.val, true
+}
+
+func (s *shard[V]) put(key string, val V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.entries[key]; ok {
+		n.val = val
+		s.unlink(n)
+		s.pushFront(n)
+		return
+	}
+	n := &node[V]{key: key, val: val}
+	s.entries[key] = n
+	s.pushFront(n)
+	s.insertions++
+	for len(s.entries) > s.capacity {
+		last := s.sentinel.prev
+		s.unlink(last)
+		delete(s.entries, last.key)
+		s.evictions++
+	}
+}
+
+func (s *shard[V]) stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:       s.hits,
+		Misses:     s.misses,
+		Insertions: s.insertions,
+		Evictions:  s.evictions,
+		Entries:    int64(len(s.entries)),
+	}
+}
+
+// Cache is a sharded LRU from string keys to V values. The zero value is
+// not usable; construct with New.
+type Cache[V any] struct {
+	shards []shard[V]
+	mask   uint64
+}
+
+// New returns a cache holding about capacity entries across the given
+// number of shards. Zero (or negative) arguments use DefaultCapacity and
+// DefaultShards; the shard count is rounded up to a power of two and the
+// capacity is split evenly, each shard holding at least one entry.
+func New[V any](capacity, shards int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{shards: make([]shard[V], n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].init(perShard)
+	}
+	return c
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to avoid the []byte
+// conversion allocation of hash/fnv on the lookup path.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	return c.shard(key).get(key)
+}
+
+// Put caches val under key, evicting least-recently-used entries of the
+// key's shard if it is over capacity. Putting an existing key updates
+// its value and recency.
+func (c *Cache[V]) Put(key string, val V) {
+	c.shard(key).put(key, val)
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[V]) Len() int {
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (c *Cache[V]) NumShards() int { return len(c.shards) }
+
+// Stats returns counters summed over all shards.
+func (c *Cache[V]) Stats() Stats {
+	var total Stats
+	for _, st := range c.ShardStats() {
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Insertions += st.Insertions
+		total.Evictions += st.Evictions
+		total.Entries += st.Entries
+	}
+	return total
+}
+
+// ShardStats returns per-shard counters, for observing key distribution.
+func (c *Cache[V]) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i := range c.shards {
+		out[i] = c.shards[i].stats()
+	}
+	return out
+}

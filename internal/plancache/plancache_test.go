@@ -1,0 +1,185 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rewrite"
+	"repro/internal/rpq"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](8, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get on empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	c.Put("a", 10) // update
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("Get(a) after update = %d, want 10", v)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// One shard so the recency order is total.
+	c := New[int](3, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Touch a: recency is now a, c, b (most to least recent).
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("d", 4) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; want it evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted; want it resident", k)
+		}
+	}
+	// Continue: recency a, c, d after the loop above read them in order...
+	// reads above touched a, c, d; inserting two more evicts a then c.
+	c.Put("e", 5)
+	c.Put("f", 6)
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived two further insertions; want evicted")
+	}
+	if _, ok := c.Get("c"); ok {
+		t.Error("c survived two further insertions; want evicted")
+	}
+	if _, ok := c.Get("d"); !ok {
+		t.Error("d evicted; want resident (was most recent before e,f)")
+	}
+	st := c.Stats()
+	if st.Evictions != 3 {
+		t.Errorf("Evictions = %d, want 3", st.Evictions)
+	}
+}
+
+func TestUpdateDoesNotEvict(t *testing.T) {
+	c := New[int](2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 3) // update, not insertion: nothing may be evicted
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Errorf("Evictions after value update = %d, want 0", st.Evictions)
+	}
+	if st.Insertions != 2 {
+		t.Errorf("Insertions = %d, want 2", st.Insertions)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// Capacity well above n so per-shard imbalance cannot trigger
+	// evictions and distort the distribution being measured.
+	c := New[int](8192, 8)
+	if got := c.NumShards(); got != 8 {
+		t.Fatalf("NumShards = %d, want 8", got)
+	}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		c.Put(fmt.Sprintf("query-%d|with/some|structure-%d", i, i*7), i)
+	}
+	if got := c.Len(); got != n {
+		t.Fatalf("Len = %d, want %d (capacity not exceeded)", got, n)
+	}
+	per := c.ShardStats()
+	expected := float64(n) / float64(len(per))
+	for i, st := range per {
+		// FNV-1a over distinct keys should land within a loose band of
+		// the uniform share; a degenerate hash would put everything in
+		// one shard.
+		if float64(st.Entries) < 0.5*expected || float64(st.Entries) > 1.5*expected {
+			t.Errorf("shard %d holds %d entries, want within 50%% of %.0f", i, st.Entries, expected)
+		}
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	c := New[int](10, 3) // shards round up to 4, capacity 3 each
+	if got := c.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4", got)
+	}
+	d := New[int](0, 0)
+	if d.NumShards() != DefaultShards {
+		t.Fatalf("default NumShards = %d, want %d", d.NumShards(), DefaultShards)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := New[string](2, 1)
+	c.Put("x", "1")
+	c.Get("x") // hit
+	c.Get("y") // miss
+	c.Put("y", "2")
+	c.Put("z", "3") // evicts x
+	c.Get("x")      // miss (evicted)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Insertions != 3 || st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("Stats = %+v, want hits=1 misses=2 insertions=3 evictions=1 entries=2", st)
+	}
+	if got, want := st.HitRate(), 1.0/3.0; got != want {
+		t.Errorf("HitRate = %v, want %v", got, want)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("HitRate of zero Stats should be 0")
+	}
+}
+
+// TestCanonicalKeyCollision exercises the cache with the serving layer's
+// actual key discipline: syntactically different but semantically equal
+// queries share one entry via rewrite.Normal.CanonicalKey.
+func TestCanonicalKeyCollision(t *testing.T) {
+	key := func(q string) string {
+		n, err := rewrite.Normalize(rpq.MustParse(q), rewrite.Options{})
+		if err != nil {
+			t.Fatalf("normalize %q: %v", q, err)
+		}
+		return n.CanonicalKey()
+	}
+	c := New[string](16, 2)
+	c.Put(key("a/b|c"), "plan-1")
+	if v, ok := c.Get(key("c|a/b")); !ok || v != "plan-1" {
+		t.Errorf("c|a/b missed the a/b|c entry: %q, %v", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 shared entry", c.Len())
+	}
+	if _, ok := c.Get(key("b/a|c")); ok {
+		t.Error("b/a|c hit the a/b|c entry; want distinct keys")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](64, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%100)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("impossible value")
+				}
+				c.Put(k, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("lookups = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}

@@ -74,6 +74,16 @@ type Normal struct {
 	HasEpsilon bool
 }
 
+// CanonicalKey returns a canonical textual key for the normal form:
+// semantically equal queries — queries whose union-normal forms contain
+// the same disjunct set and the same ε flag — map to identical keys,
+// regardless of how the original expressions were written. Normalize
+// already deduplicates disjuncts and sorts them by (length, text), so
+// "a/b|c" and "c|a/b" share a key. The key doubles as the plan-cache
+// lookup key and is itself parseable query syntax whose normal form is
+// the same normal form it was derived from.
+func (n Normal) CanonicalKey() string { return n.String() }
+
 // TotalSteps returns the summed length of all disjuncts, a measure of the
 // expanded query size.
 func (n Normal) TotalSteps() int {

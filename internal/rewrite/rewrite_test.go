@@ -330,3 +330,47 @@ func TestNormalString(t *testing.T) {
 		t.Errorf("Normal.String() = %q", s)
 	}
 }
+
+func TestCanonicalKey(t *testing.T) {
+	equal := [][2]string{
+		{"a/b|c", "c|a/b"},
+		{"a|b|a", "b|a"},
+		{"(a|b)/c", "a/c|b/c"},
+		{"a{0,2}", "()|a|a/a"},
+		{"a/b | c", "c|a/b"}, // whitespace is insignificant
+	}
+	for _, pair := range equal {
+		k0 := norm(t, pair[0], Options{}).CanonicalKey()
+		k1 := norm(t, pair[1], Options{}).CanonicalKey()
+		if k0 != k1 {
+			t.Errorf("CanonicalKey(%q) = %q, CanonicalKey(%q) = %q; want equal",
+				pair[0], k0, pair[1], k1)
+		}
+	}
+	distinct := [][2]string{
+		{"a/b", "b/a"},
+		{"a|b", "a"},
+		{"a?", "a"},
+		{"a^-", "a"},
+	}
+	for _, pair := range distinct {
+		k0 := norm(t, pair[0], Options{}).CanonicalKey()
+		k1 := norm(t, pair[1], Options{}).CanonicalKey()
+		if k0 == k1 {
+			t.Errorf("CanonicalKey(%q) == CanonicalKey(%q) == %q; want distinct",
+				pair[0], pair[1], k0)
+		}
+	}
+}
+
+func TestCanonicalKeyReparses(t *testing.T) {
+	// The key is itself query syntax and is a fixed point: normalizing
+	// the key yields the key again.
+	for _, q := range []string{"a/b|c", "a{0,2}/b", "(a|b^-)/c?", "a?"} {
+		key := norm(t, q, Options{}).CanonicalKey()
+		again := norm(t, key, Options{}).CanonicalKey()
+		if key != again {
+			t.Errorf("CanonicalKey not a fixed point: %q -> %q -> %q", q, key, again)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package rpq
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks the parser against the printer: any input that parses
+// must print (String) to syntax that reparses to the identical AST, and
+// the printed form must be a fixed point of the round trip. Inputs that
+// fail to parse must do so with an error, never a panic.
+func FuzzParse(f *testing.F) {
+	// Seed corpus: the Advogato workload texts (Q1–Q8), the paper's
+	// worked-example shape, every operator and token form, and inputs
+	// that probe parser edges (errors, whitespace, unicode, nesting).
+	seeds := []string{
+		// Workload queries.
+		"master/journeyer",
+		"master/master/journeyer",
+		"journeyer/master/journeyer/apprentice/master/journeyer",
+		"master/journeyer|journeyer/apprentice/master",
+		"master/journeyer^-/apprentice/master^-",
+		"(master|journeyer){1,3}",
+		"master/(apprentice/master){2,3}/journeyer",
+		"(master|journeyer^-)/apprentice{1,2}/(master/journeyer|apprentice)",
+		// Operator and token forms.
+		"knows/worksFor^-",
+		"(knows/worksFor){2,4}",
+		"knows|worksFor-",
+		"a*", "a+", "a?", "a{3}", "a{2,}", "a{0,0}",
+		"()", "()|a", "a/()/b",
+		"a.b.c",
+		"_x1/y_2",
+		"((a))",
+		"(a|b)/(c|d)",
+		"a^-^-",
+		// Near-miss and error shapes.
+		"a{", "a{1", "a{1,", "a{2,1}", "a||b", "a/", "|a", "^", "^-",
+		"(", ")", "(()", "a b", "a\tb", " a ", "9", "a{999999999}",
+		"é/ü", "λ*",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		printed := e.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Parse(%q) succeeded but its printed form %q does not reparse: %v", input, printed, err)
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("round trip changed the AST: %q -> %#v, printed %q -> %#v", input, e, printed, e2)
+		}
+		if again := e2.String(); again != printed {
+			t.Fatalf("printing is not a fixed point: %q -> %q -> %q", input, printed, again)
+		}
+	})
+}

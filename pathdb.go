@@ -27,11 +27,13 @@ package pathdb
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pathindex"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/rpq"
 )
 
@@ -97,9 +99,14 @@ type Options struct {
 
 // DB is an immutable RPQ database: a frozen graph plus its k-path index
 // and selectivity histogram.
+//
+// A DB is safe for concurrent use: Query, QueryWith, QueryFrom,
+// QueryParallel, Explain, and the read accessors may be called from any
+// number of goroutines, and SetDefaultStrategy is atomic. For serving
+// heavy repeated traffic, Serve adds a plan cache on top.
 type DB struct {
 	engine          *core.Engine
-	defaultStrategy Strategy
+	defaultStrategy atomic.Int32
 }
 
 // Build freezes g (if needed), constructs the k-path index and
@@ -120,12 +127,19 @@ func Build(g *Graph, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{engine: engine, defaultStrategy: StrategyMinSupport}, nil
+	db := &DB{engine: engine}
+	db.SetDefaultStrategy(StrategyMinSupport)
+	return db, nil
 }
 
 // SetDefaultStrategy changes the strategy used by Query. The initial
 // default is StrategyMinSupport, the paper's recommended configuration.
-func (db *DB) SetDefaultStrategy(s Strategy) { db.defaultStrategy = s }
+// The switch is atomic, so it may race with in-flight queries (each
+// query reads the default once).
+func (db *DB) SetDefaultStrategy(s Strategy) { db.defaultStrategy.Store(int32(s)) }
+
+// DefaultStrategy returns the strategy Query currently uses.
+func (db *DB) DefaultStrategy() Strategy { return Strategy(db.defaultStrategy.Load()) }
 
 // Pair is a query answer pair of node identifiers.
 type Pair = pathindex.Pair
@@ -143,7 +157,7 @@ type Result struct {
 
 // Query evaluates an RPQ under the database's default strategy.
 func (db *DB) Query(query string) (*Result, error) {
-	return db.QueryWith(query, db.defaultStrategy)
+	return db.QueryWith(query, db.DefaultStrategy())
 }
 
 // QueryWith evaluates an RPQ under an explicit strategy.
@@ -220,7 +234,9 @@ func BuildWithIndex(g *Graph, indexPath string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{engine: engine, defaultStrategy: StrategyMinSupport}, nil
+	db := &DB{engine: engine}
+	db.SetDefaultStrategy(StrategyMinSupport)
+	return db, nil
 }
 
 // Explain returns the physical execution plan for a query as text.
@@ -274,6 +290,78 @@ func (db *DB) Selectivity(labelPath string) (float64, error) {
 	}
 	return db.engine.Histogram().Selectivity(p), nil
 }
+
+// ServeOptions configures DB.Serve.
+type ServeOptions struct {
+	// CacheCapacity is the approximate number of compiled plans kept
+	// across all cache shards; 0 uses a default of 1024 and a negative
+	// value disables the cache (every request replans).
+	CacheCapacity int
+	// CacheShards is the plan cache's lock-sharding factor (rounded up
+	// to a power of two); 0 uses a default of 8. More shards reduce
+	// lock contention between concurrent clients.
+	CacheShards int
+}
+
+// CacheStats are the plan cache's counters.
+type CacheStats = plancache.Stats
+
+// ServeStats describe a Server's request traffic: total requests, full
+// plan builds (cache misses), errors, and the underlying cache counters.
+type ServeStats = core.ServeStats
+
+// Server is a thread-safe query-serving front end over a DB: any number
+// of client goroutines may call Query and QueryWith concurrently. It
+// memoizes the rewrite+plan pipeline per (query, strategy) in a sharded
+// LRU cache, keyed both by exact query text and by the canonical
+// union-normal form, so semantically equal queries like "a/b|c" and
+// "c|a/b" share one compiled plan. Execution state is always per call;
+// only the immutable compiled plan is shared.
+type Server struct {
+	db       *DB
+	srv      *core.Server
+	strategy Strategy
+}
+
+// Serve returns a serving front end using the DB's default strategy (as
+// read at this moment) for Query. Multiple servers over one DB are
+// independent, each with its own cache.
+func (db *DB) Serve(opts ServeOptions) *Server {
+	return &Server{
+		db: db,
+		srv: db.engine.Serve(core.ServeOptions{
+			CacheCapacity: opts.CacheCapacity,
+			CacheShards:   opts.CacheShards,
+		}),
+		strategy: db.DefaultStrategy(),
+	}
+}
+
+// Query evaluates an RPQ under the server's strategy, using the plan
+// cache. Result.Stats.CacheHit reports whether planning was skipped.
+func (s *Server) Query(query string) (*Result, error) {
+	return s.QueryWith(query, s.strategy)
+}
+
+// QueryWith evaluates an RPQ under an explicit strategy, using the plan
+// cache.
+func (s *Server) QueryWith(query string, strategy Strategy) (*Result, error) {
+	res, err := s.srv.Query(query, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Pairs: res.Pairs,
+		Names: s.db.engine.NamedPairs(res.Pairs),
+		Stats: res.Stats,
+	}, nil
+}
+
+// Stats returns a snapshot of the server's request and cache counters.
+func (s *Server) Stats() ServeStats { return s.srv.Stats() }
+
+// DB returns the served database.
+func (s *Server) DB() *DB { return s.db }
 
 // asSteps flattens a pure composition of steps.
 func asSteps(e rpq.Expr) ([]rpq.Step, error) {

@@ -1,0 +1,131 @@
+package pathdb_test
+
+import (
+	"sync"
+	"testing"
+
+	pathdb "repro"
+)
+
+func serveTestDB(t *testing.T) *pathdb.DB {
+	t.Helper()
+	g := pathdb.NewGraph()
+	g.AddEdge("ada", "knows", "zoe")
+	g.AddEdge("zoe", "knows", "kim")
+	g.AddEdge("kim", "worksFor", "ada")
+	g.AddEdge("zoe", "worksFor", "ada")
+	g.AddEdge("ada", "worksFor", "kim")
+	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestServeMatchesQuery(t *testing.T) {
+	db := serveTestDB(t)
+	srv := db.Serve(pathdb.ServeOptions{CacheCapacity: 16})
+	queries := []string{"knows/worksFor", "knows|worksFor", "(knows){1,2}", "worksFor^-/knows"}
+	for round := 0; round < 2; round++ {
+		for _, q := range queries {
+			want, err := db.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := srv.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Pairs) != len(want.Pairs) || len(got.Names) != len(want.Names) {
+				t.Fatalf("round %d: served %q returned %d pairs, want %d", round, q, len(got.Pairs), len(want.Pairs))
+			}
+			if round == 1 && !got.Stats.CacheHit {
+				t.Errorf("round 1: %q missed the warm cache", q)
+			}
+		}
+	}
+	st := srv.Stats()
+	// db.Query does not go through the server: only the two served
+	// rounds count as requests.
+	if st.Requests != int64(2*len(queries)) {
+		t.Errorf("Requests = %d, want %d", st.Requests, 2*len(queries))
+	}
+	if st.PlanBuilds != int64(len(queries)) {
+		t.Errorf("PlanBuilds = %d, want %d (one per distinct query)", st.PlanBuilds, len(queries))
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5 (second round all hits)", hr)
+	}
+}
+
+func TestServeCanonicalSharing(t *testing.T) {
+	db := serveTestDB(t)
+	srv := db.Serve(pathdb.ServeOptions{CacheCapacity: 16})
+	if _, err := srv.Query("knows/worksFor|knows"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Query("knows|knows/worksFor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.CacheHit {
+		t.Error("semantically equal query text missed the canonical cache tier")
+	}
+}
+
+func TestServeConcurrentClients(t *testing.T) {
+	db := serveTestDB(t)
+	srv := db.Serve(pathdb.ServeOptions{CacheCapacity: 8, CacheShards: 2})
+	queries := []string{"knows/worksFor", "knows|worksFor", "knows{1,2}"}
+	want := make(map[string]int)
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = len(res.Pairs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				q := queries[(w+i)%len(queries)]
+				res, err := srv.Query(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Pairs) != want[q] {
+					t.Errorf("concurrent served %q: %d pairs, want %d", q, len(res.Pairs), want[q])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := srv.Stats(); st.Requests != 160 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want 160 requests, 0 errors", st)
+	}
+}
+
+func TestSetDefaultStrategyConcurrent(t *testing.T) {
+	db := serveTestDB(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if w%2 == 0 {
+					db.SetDefaultStrategy(pathdb.Strategies()[i%4])
+				} else if _, err := db.Query("knows/worksFor"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
