@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve]
+//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open]
 //	      [-scale 1.0] [-seed 1] [-runs 3] [-buckets 64]
 //	      [-clients 8] [-servedur 2s] [-serveout BENCH_serve.json]
+//	      [-openout BENCH_open.json]
 //
 // Full scale (-scale 1.0) matches the published Advogato dimensions and
 // takes a few minutes, dominated by the k=3 index build; -scale 0.25
@@ -19,6 +20,12 @@
 // serving layer, measuring client counts 1, 2, 4, ... up to -clients
 // plus an uncached single-client baseline, and writes the JSON report
 // to -serveout.
+//
+// The open experiment (also selected implicitly by passing -openout with
+// -experiment all) measures the cold-start path of the persistence
+// layer — full rebuild vs the v1 copy-decoding loader vs the v2
+// zero-copy mmap open — across index sizes, and writes the JSON report
+// to -openout.
 package main
 
 import (
@@ -31,7 +38,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile, serve")
+	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile, serve, open")
 	scale := flag.Float64("scale", 1.0, "Advogato scale factor in (0,1]")
 	seed := flag.Int64("seed", 1, "generator seed")
 	runs := flag.Int("runs", 3, "samples per measurement (median reported)")
@@ -39,6 +46,7 @@ func main() {
 	clients := flag.Int("clients", 8, "serve: maximum concurrent clients (measures 1,2,4,... up to this)")
 	servedur := flag.Duration("servedur", 2*time.Second, "serve: measured window per client count")
 	serveout := flag.String("serveout", "BENCH_serve.json", "serve: JSON report output path")
+	openout := flag.String("openout", "BENCH_open.json", "open: JSON report output path")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -49,20 +57,35 @@ func main() {
 		HistogramBuckets: *buckets,
 	}
 
-	what := *experiment
-	if what == "all" && (flagPassed("clients") || flagPassed("servedur") || flagPassed("serveout")) {
-		what = "serve"
-	}
-	if what == "serve" {
-		if err := runServe(cfg, *clients, *servedur, *serveout); err != nil {
+	die := func(err error) {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		return
 	}
-	if err := run(what, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+	what := *experiment
+	if what == "all" {
+		// Report flags implicitly select their experiment; passing both
+		// kinds runs both.
+		wantOpen := flagPassed("openout")
+		wantServe := flagPassed("clients") || flagPassed("servedur") || flagPassed("serveout")
+		if wantOpen {
+			die(runOpen(cfg, *openout))
+		}
+		if wantServe {
+			die(runServe(cfg, *clients, *servedur, *serveout))
+		}
+		if wantOpen || wantServe {
+			return
+		}
+	}
+	switch what {
+	case "open":
+		die(runOpen(cfg, *openout))
+	case "serve":
+		die(runServe(cfg, *clients, *servedur, *serveout))
+	default:
+		die(run(what, cfg))
 	}
 }
 
@@ -86,6 +109,24 @@ func clientCounts(max int) []int {
 		out = append(out, n)
 	}
 	return append(out, max)
+}
+
+func runOpen(cfg bench.Config, out string) error {
+	rep, err := bench.RunOpen(cfg, out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cold-open cost per index size (runs=%d, medians, ms):\n", rep.Runs)
+	fmt.Printf("%8s %10s %10s %12s %12s %14s %14s\n",
+		"scale", "entries", "v2 bytes", "rebuild", "load v1", "open mapped", "first query")
+	for _, p := range rep.Points {
+		fmt.Printf("%8.2f %10d %10d %12.2f %12.2f %14.3f %14.2f\n",
+			p.Scale, p.Entries, p.V2Bytes, p.RebuildMillis, p.LoadV1Millis, p.OpenMappedMillis, p.FirstQueryMillis)
+	}
+	if out != "" {
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
 }
 
 func runServe(cfg bench.Config, clients int, dur time.Duration, out string) error {

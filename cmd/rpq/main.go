@@ -8,23 +8,53 @@
 //	rpq -graph FILE [-k 2] [-strategy minSupport] [-buckets 64] \
 //	    (-query RPQ | -explain RPQ | -stats)
 //
+//	rpq build -graph FILE -index FILE [-k 2]
+//	rpq serve -graph FILE -index FILE [-strategy minSupport] [-limit 20]
+//
+// The build/serve pair exercises the save-once/open-many lifecycle:
+// `build` constructs the k-path index and writes it in the mmap-able
+// format v2; `serve` memory-maps that file — no rebuild, no decode — and
+// answers queries read from stdin, one per line.
+//
 // Examples:
 //
 //	rpq -graph social.txt -k 3 -query 'knows/(knows/worksFor){2,4}/worksFor'
 //	rpq -graph social.txt -k 3 -explain 'knows/knows/worksFor' -strategy semiNaive
 //	rpq -graph social.txt -k 2 -stats
+//	rpq build -graph social.txt -k 3 -index social.pix
+//	echo 'knows/worksFor' | rpq serve -graph social.txt -index social.pix
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	pathdb "repro"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "build":
+			if err := runBuild(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "rpq build:", err)
+				os.Exit(1)
+			}
+			return
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "rpq serve:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+
 	graphPath := flag.String("graph", "", "edge-list file: one 'source label target' per line (required)")
 	k := flag.Int("k", 2, "path-index locality parameter")
 	strategyName := flag.String("strategy", "minSupport", "naive, semiNaive, minSupport, or minJoin")
@@ -38,6 +68,109 @@ func main() {
 	if err := run(*graphPath, *k, *strategyName, *buckets, *query, *explain, *stats, *limit); err != nil {
 		fmt.Fprintln(os.Stderr, "rpq:", err)
 		os.Exit(1)
+	}
+}
+
+// runBuild implements `rpq build`: construct the index once and persist
+// it in format v2 for any number of later `rpq serve` cold starts.
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge-list file (required)")
+	indexPath := fs.String("index", "", "output index file (required)")
+	k := fs.Int("k", 2, "path-index locality parameter")
+	fs.Parse(args)
+	if *graphPath == "" || *indexPath == "" {
+		return fmt.Errorf("-graph and -index are required")
+	}
+	g, err := pathdb.LoadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	db, err := pathdb.Build(g, pathdb.Options{K: *k})
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := db.SaveIndexV2(*indexPath); err != nil {
+		return err
+	}
+	st := db.IndexStats()
+	fi, err := os.Stat(*indexPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built k=%d index: %d entries over %d label paths in %.2f ms\n",
+		db.K(), st.Entries, st.LabelPaths, st.BuildMillis)
+	fmt.Printf("wrote %s: %d bytes (format v2) in %.2f ms\n",
+		*indexPath, fi.Size(), float64(time.Since(t0).Microseconds())/1000.0)
+	return nil
+}
+
+// runServe implements `rpq serve`: memory-map a prebuilt index and
+// answer queries from stdin without ever rebuilding.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge-list file (required)")
+	indexPath := fs.String("index", "", "format-v2 index file from `rpq build` (required)")
+	strategyName := fs.String("strategy", "minSupport", "naive, semiNaive, minSupport, or minJoin")
+	limit := fs.Int("limit", 20, "maximum result pairs to print per query (0 = all)")
+	fs.Parse(args)
+	if *graphPath == "" || *indexPath == "" {
+		return fmt.Errorf("-graph and -index are required")
+	}
+	strategy, err := pathdb.ParseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	db, err := pathdb.Open(*graphPath, *indexPath)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	st := db.IndexStats()
+	fmt.Printf("opened %s in %.2f ms: k=%d, %d entries over %d label paths (no rebuild)\n",
+		*indexPath, float64(time.Since(t0).Microseconds())/1000.0, db.K(), st.Entries, st.LabelPaths)
+
+	srv := db.Serve(pathdb.ServeOptions{})
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		query := strings.TrimSpace(sc.Text())
+		if query == "" || strings.HasPrefix(query, "#") {
+			continue
+		}
+		res, err := srv.QueryWith(query, strategy)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		printPairs(res, *limit)
+		fmt.Printf("%d pairs; exec %v\n", len(res.Pairs), res.Stats.ExecTime.Round(1000))
+	}
+	return sc.Err()
+}
+
+// printPairs renders a query's pair listing (sorted by name, truncated
+// to limit); callers append their own statistics trailer. The default
+// command and `serve` share it so their listings stay line-identical.
+func printPairs(res *pathdb.Result, limit int) {
+	names := res.Names
+	sort.Slice(names, func(i, j int) bool {
+		if names[i][0] != names[j][0] {
+			return names[i][0] < names[j][0]
+		}
+		return names[i][1] < names[j][1]
+	})
+	shown := len(names)
+	if limit > 0 && shown > limit {
+		shown = limit
+	}
+	for _, p := range names[:shown] {
+		fmt.Printf("%s -> %s\n", p[0], p[1])
+	}
+	if shown < len(names) {
+		fmt.Printf("... (%d more)\n", len(names)-shown)
 	}
 }
 
@@ -83,23 +216,7 @@ func run(graphPath string, k int, strategyName string, buckets int, query, expla
 		if err != nil {
 			return err
 		}
-		names := res.Names
-		sort.Slice(names, func(i, j int) bool {
-			if names[i][0] != names[j][0] {
-				return names[i][0] < names[j][0]
-			}
-			return names[i][1] < names[j][1]
-		})
-		shown := len(names)
-		if limit > 0 && shown > limit {
-			shown = limit
-		}
-		for _, p := range names[:shown] {
-			fmt.Printf("%s -> %s\n", p[0], p[1])
-		}
-		if shown < len(names) {
-			fmt.Printf("... (%d more)\n", len(names)-shown)
-		}
+		printPairs(res, limit)
 		fmt.Printf("%d pairs; %d disjuncts; rewrite %v, plan %v, exec %v\n",
 			len(res.Pairs), res.Stats.Disjuncts,
 			res.Stats.RewriteTime.Round(1000), res.Stats.PlanTime.Round(1000), res.Stats.ExecTime.Round(1000))

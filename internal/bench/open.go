@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// The open experiment measures the cold-start story of the persistence
+// layer: how long it takes to get from files on disk to a serving index,
+// comparing a full rebuild, the v1 copy-decoding loader, and the v2
+// zero-copy mmap open, across index sizes. The headline property is that
+// OpenMapped time tracks the directory (label-path count), not the
+// relation payload, so it stays flat while rebuild and v1 load grow with
+// the index.
+
+// OpenPoint is one measured (dataset scale, k) configuration.
+type OpenPoint struct {
+	Scale      float64 `json:"scale"`
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	K          int     `json:"k"`
+	Entries    int     `json:"entries"`
+	LabelPaths int     `json:"label_paths"`
+	V1Bytes    int64   `json:"v1_bytes"`
+	V2Bytes    int64   `json:"v2_bytes"`
+	// RebuildMillis is a full pathindex.Build from the in-memory graph.
+	RebuildMillis float64 `json:"rebuild_ms"`
+	// LoadV1Millis decodes the v1 stream into heap slices.
+	LoadV1Millis float64 `json:"load_v1_ms"`
+	// OpenMappedMillis is the v2 zero-copy open (directory-only work).
+	OpenMappedMillis float64 `json:"open_mapped_ms"`
+	// FirstQueryMillis evaluates one 2-step query on the freshly mapped
+	// index, faulting its pages in — the realistic "first answer" cost.
+	FirstQueryMillis float64 `json:"first_query_ms"`
+	Mapped           bool    `json:"mapped"`
+}
+
+// OpenReport is serialized to BENCH_open.json by cmd/bench.
+type OpenReport struct {
+	GoVersion string      `json:"go_version"`
+	CPUs      int         `json:"cpus"`
+	Runs      int         `json:"runs"`
+	Points    []OpenPoint `json:"points"`
+	Note      string      `json:"note"`
+}
+
+// RunOpen measures cold-open costs at several Advogato scales and writes
+// the JSON report to out. Scales are fractions of cfg.Scale so -scale
+// still bounds the experiment's overall size.
+func RunOpen(cfg Config, out string) (*OpenReport, error) {
+	cfg = cfg.normalize()
+	dir, err := os.MkdirTemp("", "pathdb-open-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	report := &OpenReport{
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Runs:      cfg.Runs,
+		Note:      "open_mapped_ms is directory-only work and should stay flat as entries grow; rebuild_ms and load_v1_ms scale with the payload",
+	}
+	for _, frac := range []float64{0.25, 0.5, 1.0} {
+		scale := cfg.Scale * frac
+		g := datasets.AdvogatoScaled(cfg.Seed, scale)
+		k := 2
+		buildStart := time.Now()
+		ix, err := pathindex.Build(g, k, pathindex.BuildOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: building open fixture at scale %.2f: %w", scale, err)
+		}
+		rebuild := time.Since(buildStart)
+		// Re-time the rebuild cfg.Runs times for a stable median.
+		if d, err := timeIt(cfg.Runs, func() error {
+			_, err := pathindex.Build(g, k, pathindex.BuildOptions{})
+			return err
+		}); err == nil {
+			rebuild = d
+		}
+
+		v1Path := filepath.Join(dir, fmt.Sprintf("ix-%.2f.v1", scale))
+		v2Path := filepath.Join(dir, fmt.Sprintf("ix-%.2f.v2", scale))
+		if err := ix.Save(v1Path); err != nil {
+			return nil, err
+		}
+		if err := ix.SaveV2(v2Path); err != nil {
+			return nil, err
+		}
+		v1Info, err := os.Stat(v1Path)
+		if err != nil {
+			return nil, err
+		}
+		v2Info, err := os.Stat(v2Path)
+		if err != nil {
+			return nil, err
+		}
+
+		loadV1, err := timeIt(cfg.Runs, func() error {
+			_, err := pathindex.Load(v1Path, g)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		var mapped bool
+		openV2, err := timeIt(cfg.Runs, func() error {
+			m, err := pathindex.OpenMapped(v2Path, g)
+			if err != nil {
+				return err
+			}
+			mapped = m.Mapped()
+			return m.Close()
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// First query on a cold mapping: engine over the fresh mapping
+		// (histogram from the directory) plus one two-step evaluation,
+		// faulting the touched relation pages in.
+		m, err := pathindex.OpenMapped(v2Path, g)
+		if err != nil {
+			return nil, err
+		}
+		q := workload.Advogato()[0]
+		qStart := time.Now()
+		e, err := core.NewEngineFromStorage(m, core.Options{K: m.K()})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		if _, err := e.Eval(q.Expr, plan.MinSupport); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("bench: first query %q: %w", q.Text, err)
+		}
+		firstQuery := time.Since(qStart)
+		m.Close()
+
+		st := ix.Stats()
+		report.Points = append(report.Points, OpenPoint{
+			Scale:            scale,
+			Nodes:            g.NumNodes(),
+			Edges:            g.NumEdges(),
+			K:                k,
+			Entries:          st.Entries,
+			LabelPaths:       st.LabelPaths,
+			V1Bytes:          v1Info.Size(),
+			V2Bytes:          v2Info.Size(),
+			RebuildMillis:    ms2(rebuild),
+			LoadV1Millis:     ms2(loadV1),
+			OpenMappedMillis: ms2(openV2),
+			FirstQueryMillis: ms2(firstQuery),
+			Mapped:           mapped,
+		})
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+func ms2(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"path/filepath"
 	"slices"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/pathindex"
 	"repro/internal/plan"
 	"repro/internal/reachability"
@@ -75,6 +77,78 @@ func TestDifferentialRandomQueries(t *testing.T) {
 	}
 	if hr := cached.Stats().HitRate(); hr < 0.5 {
 		t.Errorf("cached server hit rate = %.2f; the hit path was barely exercised", hr)
+	}
+}
+
+// TestDifferentialHeapVsMapped is the property-based differential test
+// of the storage layer: on a random graph, an engine over the in-memory
+// index and an engine over the same index saved to disk and reopened
+// with pathindex.OpenMapped (zero-copy over the v2 file) must return
+// identical sorted result sets for random RPQs under all four
+// strategies, and identical single-source answers via EvalFrom.
+func TestDifferentialHeapVsMapped(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(31)), 40, 120, []string{"a", "b", "c"})
+	heap := newTestEngine(t, g, 2)
+
+	path := filepath.Join(t.TempDir(), "diff.v2")
+	if err := heap.Storage().(*pathindex.Index).SaveV2(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pathindex.OpenMapped(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mapped, err := NewEngineFromStorage(m, Options{K: m.K()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(32))
+	genOpts := rpq.DefaultGenOptions([]string{"a", "b", "c"})
+	checked := 0
+	const iterations = 50
+	for i := 0; i < iterations; i++ {
+		expr := rpq.Generate(r, genOpts)
+		text := expr.String()
+		ok := true
+		for _, strat := range plan.Strategies() {
+			want, err := heap.Eval(expr, strat)
+			if err != nil {
+				var le *rewrite.LimitError
+				if errors.As(err, &le) {
+					ok = false
+					break
+				}
+				t.Fatalf("heap eval of %q: %v", text, err)
+			}
+			got, err := mapped.Eval(expr, strat)
+			if err != nil {
+				t.Fatalf("mapped eval of %q: %v", text, err)
+			}
+			if !slices.Equal(sortedPairs(got.Pairs), sortedPairs(want.Pairs)) {
+				t.Fatalf("mapped storage disagrees with heap on %q under %v", text, strat)
+			}
+		}
+		if !ok {
+			continue
+		}
+		checked++
+		src := graph.NodeID(r.Intn(g.NumNodes()))
+		wantFrom, err := heap.EvalFrom(expr, src)
+		if err != nil {
+			t.Fatalf("heap EvalFrom(%q, %d): %v", text, src, err)
+		}
+		gotFrom, err := mapped.EvalFrom(expr, src)
+		if err != nil {
+			t.Fatalf("mapped EvalFrom(%q, %d): %v", text, src, err)
+		}
+		if !slices.Equal(gotFrom, wantFrom) {
+			t.Fatalf("mapped EvalFrom disagrees with heap on %q from %d", text, src)
+		}
+	}
+	if checked < iterations/2 {
+		t.Fatalf("only %d/%d random queries were checkable; generator or limits changed?", checked, iterations)
 	}
 }
 

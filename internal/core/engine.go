@@ -69,9 +69,15 @@ type Options struct {
 // Engine evaluates RPQs over one indexed graph. All fields are frozen by
 // construction, so one Engine may serve any number of concurrent
 // callers; see the package comment for the full contract.
+//
+// The index is held through the pathindex.Storage interface, so an
+// engine serves heap-built indexes and memory-mapped on-disk indexes
+// (pathindex.OpenMapped) identically — the executor's scans, range
+// lookups, and membership probes run over whichever byte layout the
+// storage exposes.
 type Engine struct {
 	g    *graph.Graph
-	ix   *pathindex.Index
+	ix   pathindex.Storage
 	hist *histogram.Histogram
 	opts Options
 }
@@ -95,10 +101,20 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	return NewEngineFromIndex(ix, opts)
 }
 
-// NewEngineFromIndex wraps an existing index (for example one
-// deserialized with pathindex.Load) in an engine, rebuilding only the
-// histogram. Options.K must match the index.
+// NewEngineFromIndex wraps an existing heap-backed index (for example
+// one deserialized with pathindex.Load) in an engine. It is
+// NewEngineFromStorage narrowed to the concrete index type, kept for
+// convenience.
 func NewEngineFromIndex(ix *pathindex.Index, opts Options) (*Engine, error) {
+	return NewEngineFromStorage(ix, opts)
+}
+
+// NewEngineFromStorage wraps existing index storage — heap-backed or
+// memory-mapped (pathindex.OpenMapped) — in an engine, rebuilding only
+// the histogram, whose cost is proportional to the number of label
+// paths, not to the relation payload. Options.K must be zero or match
+// the storage.
+func NewEngineFromStorage(ix pathindex.Storage, opts Options) (*Engine, error) {
 	if opts.K == 0 {
 		opts.K = ix.K()
 	}
@@ -124,8 +140,8 @@ func NewEngineFromIndex(ix *pathindex.Index, opts Options) (*Engine, error) {
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-// Index returns the engine's path index.
-func (e *Engine) Index() *pathindex.Index { return e.ix }
+// Storage returns the engine's path-index storage.
+func (e *Engine) Storage() pathindex.Storage { return e.ix }
 
 // Histogram returns the engine's selectivity statistics.
 func (e *Engine) Histogram() *histogram.Histogram { return e.hist }

@@ -94,7 +94,7 @@ func (o BuildOptions) batchSize() int {
 
 // Build translates a physical plan into an operator tree over ix. The
 // identity (ε) disjunct enumerates all graph nodes.
-func Build(p *plan.Plan, ix *pathindex.Index, opts BuildOptions) (Operator, error) {
+func Build(p *plan.Plan, ix pathindex.Storage, opts BuildOptions) (Operator, error) {
 	var ops []Operator
 	if p.HasEpsilon {
 		ops = append(ops, NewIdentityScan(ix.Graph()))
@@ -109,7 +109,7 @@ func Build(p *plan.Plan, ix *pathindex.Index, opts BuildOptions) (Operator, erro
 	return NewUnionDistinctSized(ops, opts.batchSize()), nil
 }
 
-func buildNode(n plan.Node, ix *pathindex.Index, opts BuildOptions) (Operator, error) {
+func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, error) {
 	switch v := n.(type) {
 	case *plan.Scan:
 		if len(v.Segment) > ix.K() {
@@ -178,7 +178,7 @@ type IndexScan struct {
 }
 
 // NewIndexScan returns a scan of segment; inverted selects target order.
-func NewIndexScan(ix *pathindex.Index, segment pathindex.Path, inverted bool) *IndexScan {
+func NewIndexScan(ix pathindex.Storage, segment pathindex.Path, inverted bool) *IndexScan {
 	p := segment
 	if inverted {
 		p = segment.Inverse()

@@ -39,7 +39,7 @@ type bucket struct {
 
 // BuildExact returns per-path exact statistics (the infinite-bucket
 // limit).
-func BuildExact(ix *pathindex.Index) *Histogram {
+func BuildExact(ix pathindex.Storage) *Histogram {
 	h := &Histogram{exact: map[string]int{}}
 	ix.AllPaths(func(id uint32, p pathindex.Path, count int) {
 		h.exact[p.Key()] = count
@@ -52,7 +52,7 @@ func BuildExact(ix *pathindex.Index) *Histogram {
 
 // BuildEquiDepth returns an equi-depth histogram with at most maxBuckets
 // buckets. maxBuckets must be positive.
-func BuildEquiDepth(ix *pathindex.Index, maxBuckets int) (*Histogram, error) {
+func BuildEquiDepth(ix pathindex.Storage, maxBuckets int) (*Histogram, error) {
 	if maxBuckets < 1 {
 		return nil, fmt.Errorf("histogram: bucket count must be positive, got %d", maxBuckets)
 	}
@@ -96,7 +96,7 @@ func BuildEquiDepth(ix *pathindex.Index, maxBuckets int) (*Histogram, error) {
 // denominatorOf returns |paths_k(G)| when the index computed it, falling
 // back to the total entry count (an upper bound on distinct pairs) when
 // the index was built with SkipPathsKCount.
-func denominatorOf(ix *pathindex.Index, total int) float64 {
+func denominatorOf(ix pathindex.Storage, total int) float64 {
 	if d := ix.PathsKCount(); d > 0 {
 		return float64(d)
 	}

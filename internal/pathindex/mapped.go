@@ -1,0 +1,98 @@
+package pathindex
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// heapIndex lets MappedIndex embed Index without exporting the field, so
+// every accessor (Blocks, SrcRange, Relation, Contains, Scan, WriteTo,
+// SaveV2, ...) is promoted and operates directly over the mapped runs.
+type heapIndex = Index
+
+// MappedIndex is a read-only k-path index whose relations alias a
+// format-v2 file image: on unix hosts a read-only memory mapping served
+// from the OS page cache, elsewhere (or when mmap fails) a single aligned
+// in-memory copy of the file. Opening touches only the header, label
+// table, and directory, so a multi-gigabyte index opens in constant time
+// relative to its relation payload, and scans fault pages in on demand.
+//
+// A MappedIndex satisfies Storage and is safe for any number of
+// concurrent readers. Close unmaps the file; it must not be called while
+// queries are in flight, and no relation slice obtained from the index
+// may be used afterwards.
+type MappedIndex struct {
+	heapIndex
+	data   []byte
+	unmap  func([]byte) error
+	mapped bool
+}
+
+// OpenMapped opens a format-v2 index file over g with zero-copy access
+// to its relation runs. The file must have been produced by SaveV2 (or
+// Migrate) from an index built on an identical graph; the label
+// vocabulary is verified, as in Load. v1 files are rejected with an
+// error pointing at Load/Migrate.
+func OpenMapped(path string, g *graph.Graph) (*MappedIndex, error) {
+	data, unmap, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := parseV2(data, g)
+	if err != nil {
+		if unmap != nil {
+			unmap(data)
+		}
+		return nil, fmt.Errorf("pathindex: opening %s: %w", path, err)
+	}
+	return &MappedIndex{heapIndex: *ix, data: data, unmap: unmap, mapped: mapped}, nil
+}
+
+// Close releases the file mapping (a no-op for the read-file fallback).
+// The index and every slice it handed out become invalid.
+func (m *MappedIndex) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if m.unmap != nil {
+		return m.unmap(data)
+	}
+	return nil
+}
+
+// Mapped reports whether the index is backed by a true memory mapping
+// (false under the portable read-file fallback).
+func (m *MappedIndex) Mapped() bool { return m.mapped }
+
+// FileBytes returns the size of the underlying file image (0 after
+// Close).
+func (m *MappedIndex) FileBytes() int { return len(m.data) }
+
+// readFileAligned reads an entire file into an 8-byte-aligned buffer, so
+// castRun can still reinterpret runs in place instead of decoding them
+// pair by pair. It is the portable fallback when mmap is unavailable.
+func readFileAligned(path string, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("pathindex: %s is empty", path)
+	}
+	if int64(int(size)) != size || size < 0 {
+		return nil, fmt.Errorf("pathindex: %s is too large to load (%d bytes)", path, size)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	words := make([]uint64, (size+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("pathindex: reading %s: %w", path, err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,55 @@
+package pathindex
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkOpenMapped measures the zero-copy cold open of a v2 file:
+// directory-only work, independent of the relation payload. Run next to
+// BenchmarkLoadV1Heap to see the decode cost it avoids.
+func BenchmarkOpenMapped(b *testing.B) {
+	r := rand.New(rand.NewSource(99))
+	g := randomGraph(r, 600, 6000, 3)
+	ix, err := Build(g, 2, BuildOptions{SkipPathsKCount: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.v2")
+	if err := ix.SaveV2(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(ix.NumEntries()), "entries")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := OpenMapped(path, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadV1Heap is the copy-decoding baseline OpenMapped replaces.
+func BenchmarkLoadV1Heap(b *testing.B) {
+	r := rand.New(rand.NewSource(99))
+	g := randomGraph(r, 600, 6000, 3)
+	ix, err := Build(g, 2, BuildOptions{SkipPathsKCount: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.v1")
+	if err := ix.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(ix.NumEntries()), "entries")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(path, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

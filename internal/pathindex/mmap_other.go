@@ -1,0 +1,20 @@
+//go:build !unix
+
+package pathindex
+
+import "os"
+
+// mapFile on platforms without a usable mmap reads the whole file into
+// an aligned buffer; runs are still reinterpreted in place, but the open
+// cost includes one sequential read of the file.
+func mapFile(path string) ([]byte, func([]byte) error, bool, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	data, err := readFileAligned(path, st.Size())
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, nil, false, nil
+}

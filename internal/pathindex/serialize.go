@@ -6,14 +6,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"unsafe"
 
 	"repro/internal/graph"
 )
 
-// Serialization format (little-endian):
+// Serialization format v1 (little-endian):
 //
 //	magic   "PIDX"
-//	version u32 (currently 1)
+//	version u32 (1)
 //	k       u32
 //	labels  u32, then per label: u32 name length + name bytes
 //	paths   u32, then per path: u32 length + length×u32 DirLabel
@@ -26,6 +27,10 @@ import (
 // The label table makes a saved index self-describing: Load verifies it
 // against the graph it is being attached to, so an index cannot silently
 // be used with a graph whose label interning differs.
+//
+// Format v2 (format2.go) shares the magic and version field, so both
+// readers recognize both formats: ReadFrom/Load decode either version
+// into a heap-backed Index, while OpenMapped serves v2 files zero-copy.
 const (
 	magic      = "PIDX"
 	trailer    = "XDIP"
@@ -131,10 +136,15 @@ func (ix *Index) Save(path string) error {
 	return f.Close()
 }
 
-// ReadFrom deserializes an index previously produced by WriteTo and
-// attaches it to g, which must be the same graph the index was built
-// from (verified via the label table; node identity is the caller's
-// responsibility, as node names are not stored in the index).
+// ReadFrom deserializes an index previously produced by WriteTo (format
+// v1) or WriteV2To (format v2, decoded into heap slices — use OpenMapped
+// for the zero-copy path) and attaches it to g, which must be the same
+// graph the index was built from (verified via the label table; node
+// identity is the caller's responsibility, as node names are not stored
+// in the index).
+//
+// Truncated or corrupted inputs of either version return descriptive
+// errors; ReadFrom never panics on malformed data.
 func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 	if !g.Frozen() {
 		return nil, fmt.Errorf("pathindex: graph must be frozen")
@@ -151,16 +161,24 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 	}
 	var version, k, numLabels uint32
 	if err := read(&version); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pathindex: reading version: %w", err)
 	}
-	if version != curVersion {
-		return nil, fmt.Errorf("pathindex: unsupported version %d (want %d)", version, curVersion)
+	switch version {
+	case curVersion:
+		// fall through to the v1 decoder below
+	case v2Version:
+		return readV2Heap(br, g)
+	default:
+		return nil, fmt.Errorf("pathindex: unsupported index version %d (supported: 1, 2)", version)
 	}
 	if err := read(&k); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pathindex: reading header: %w", err)
+	}
+	if k < 1 || k > maxSaneK {
+		return nil, fmt.Errorf("pathindex: implausible locality parameter k=%d", k)
 	}
 	if err := read(&numLabels); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pathindex: reading header: %w", err)
 	}
 	if int(numLabels) != g.NumLabels() {
 		return nil, fmt.Errorf("pathindex: index has %d labels, graph has %d", numLabels, g.NumLabels())
@@ -185,12 +203,12 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 	ix := &Index{g: g, k: int(k), ids: map[string]uint32{}}
 	var numPaths uint32
 	if err := read(&numPaths); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pathindex: reading path count: %w", err)
 	}
 	for i := 0; i < int(numPaths); i++ {
 		var plen uint32
 		if err := read(&plen); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pathindex: reading path %d: %w", i, err)
 		}
 		if int(plen) > int(k) || plen == 0 {
 			return nil, fmt.Errorf("pathindex: path %d has length %d, k=%d", i, plen, k)
@@ -199,7 +217,7 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 		for j := range p {
 			var d uint32
 			if err := read(&d); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("pathindex: reading path %d: %w", i, err)
 			}
 			if int(graph.DirLabel(d).Label()) >= g.NumLabels() {
 				return nil, fmt.Errorf("pathindex: path %d references unknown label %d", i, graph.DirLabel(d).Label())
@@ -213,20 +231,35 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 	for i := range ix.count {
 		var c uint64
 		if err := read(&c); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pathindex: reading count of path %d: %w", i, err)
 		}
 		ix.count[i] = int(c)
 	}
 	var pathsK, numEntries uint64
 	if err := read(&pathsK); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pathindex: reading |paths_k|: %w", err)
 	}
 	if err := read(&numEntries); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pathindex: reading entry count: %w", err)
 	}
 	ix.relations = make([][]Packed, numPaths)
+	// Corrupt header counts must not drive the pre-allocation: cap each
+	// hint and also the aggregate across paths — a small file declaring
+	// many paths of maximal capped counts would otherwise still reserve
+	// gigabytes before decoding could reject it. Append grows honestly
+	// past the hints; the per-path totals are verified against the
+	// header after decoding.
+	allocBudget := 1 << 22 // packed words, 32 MB total
 	for i, c := range ix.count {
-		ix.relations[i] = make([]Packed, 0, c)
+		hint := c
+		if hint < 0 || hint > 1<<20 {
+			hint = 1 << 20
+		}
+		if hint > allocBudget {
+			hint = allocBudget
+		}
+		allocBudget -= hint
+		ix.relations[i] = make([]Packed, 0, hint)
 	}
 	prevPid := uint32(0)
 	var prev Packed
@@ -236,10 +269,10 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 			return nil, fmt.Errorf("pathindex: entry %d: %w", i, err)
 		}
 		if err := read(&src); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pathindex: entry %d: %w", i, err)
 		}
 		if err := read(&dst); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pathindex: entry %d: %w", i, err)
 		}
 		if pid >= numPaths {
 			return nil, fmt.Errorf("pathindex: entry %d references path %d of %d", i, pid, numPaths)
@@ -272,12 +305,74 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 	return ix, nil
 }
 
-// Load reads an index from a file and attaches it to g.
+// Load reads an index file of either format version and attaches it to
+// g, decoding into heap slices. For large v2 indexes prefer OpenMapped,
+// which skips the decode entirely.
 func Load(path string, g *graph.Graph) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, fmt.Errorf("pathindex: reading magic: %w", err)
+	}
+	if string(head[:4]) == magic && binary.LittleEndian.Uint32(head[4:]) == v2Version {
+		// Knowing the file size up front lets the v2 image land in one
+		// aligned allocation instead of ReadAll's growth churn plus a
+		// copy.
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		size := st.Size()
+		if int64(int(size)) != size || size < 8 {
+			return nil, fmt.Errorf("pathindex: implausible v2 file size %d", size)
+		}
+		words := make([]uint64, (size+7)/8)
+		data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+		copy(data, head[:])
+		if _, err := io.ReadFull(f, data[8:]); err != nil {
+			return nil, fmt.Errorf("pathindex: reading v2 image: %w", err)
+		}
+		return decodeV2Heap(data, g)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	return ReadFrom(f, g)
+}
+
+// readV2Heap finishes reading a format-v2 stream whose magic and version
+// (8 bytes) were already consumed, reassembling the full image in an
+// aligned buffer and parsing it in place. The returned index owns the
+// buffer; generic readers pay ReadAll plus one copy, which is why Load
+// short-circuits to a sized single read for files.
+func readV2Heap(br io.Reader, g *graph.Graph) (*Index, error) {
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("pathindex: reading v2 image: %w", err)
+	}
+	total := 8 + len(rest)
+	words := make([]uint64, (total+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), total)
+	copy(data, magic)
+	binary.LittleEndian.PutUint32(data[4:], v2Version)
+	copy(data[8:], rest)
+	return decodeV2Heap(data, g)
+}
+
+// decodeV2Heap is the shared tail of the heap-decoding v2 paths: parse
+// the assembled image and, unlike OpenMapped, verify run ordering —
+// matching the v1 loader's out-of-order-entry rejection.
+func decodeV2Heap(data []byte, g *graph.Graph) (*Index, error) {
+	ix, err := parseV2(data, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.VerifyRuns(); err != nil {
+		return nil, err
+	}
+	return ix, nil
 }

@@ -1,0 +1,60 @@
+package pathindex
+
+import (
+	"repro/internal/graph"
+)
+
+// Storage is the read side of a k-path index: everything the engine,
+// executor, and histogram need to plan and evaluate queries. It is
+// implemented by the heap-backed *Index (built in memory or decoded from
+// a saved file) and by *MappedIndex (a format-v2 file opened zero-copy
+// via mmap). Both hand out relations as sorted []Packed runs whose
+// sub-slices alias the storage and must not be mutated.
+//
+// Implementations are immutable after construction, so a Storage may be
+// shared by any number of concurrent readers.
+type Storage interface {
+	// K returns the index locality parameter.
+	K() int
+	// Graph returns the indexed graph.
+	Graph() *graph.Graph
+	// Stats returns build statistics. For storage opened from disk the
+	// Duration field is zero (nothing was built).
+	Stats() BuildStats
+	// NumEntries returns the total number of ⟨path,src,dst⟩ entries.
+	NumEntries() int
+	// NumLabelPaths returns the number of label paths with non-empty
+	// relations.
+	NumLabelPaths() int
+	// PathsKCount returns |paths_k(G)|, the selectivity denominator.
+	PathsKCount() int
+	// PathID returns the identifier of p, if p is indexed.
+	PathID(p Path) (uint32, bool)
+	// PathByID returns the label path with the given identifier.
+	PathByID(id uint32) Path
+	// Count returns |p(G)|; unknown paths have count 0.
+	Count(p Path) int
+	// CountByID returns |p(G)| for a known path id.
+	CountByID(id uint32) int
+	// AllPaths invokes fn for every indexed label path in id order.
+	AllPaths(fn func(id uint32, p Path, count int))
+	// Relation returns p(G) as one sorted (src,dst) run.
+	Relation(p Path) []Packed
+	// Blocks iterates p(G) as zero-copy blocks of DefaultBlockSize.
+	Blocks(p Path) *BlockIterator
+	// BlocksSized iterates p(G) with an explicit block size.
+	BlocksSized(p Path, blockSize int) *BlockIterator
+	// SrcRange returns the sub-run of p(G) with Src == src.
+	SrcRange(p Path, src graph.NodeID) []Packed
+	// Scan iterates p(G) pair by pair.
+	Scan(p Path) *PairIterator
+	// ScanFrom iterates the pairs of p with Src == src.
+	ScanFrom(p Path, src graph.NodeID) *PairIterator
+	// Contains reports whether (src,dst) ∈ p(G).
+	Contains(p Path, src, dst graph.NodeID) bool
+}
+
+var (
+	_ Storage = (*Index)(nil)
+	_ Storage = (*MappedIndex)(nil)
+)

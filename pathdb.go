@@ -27,6 +27,7 @@ package pathdb
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -205,16 +206,101 @@ func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Resu
 	}, nil
 }
 
-// SaveIndex persists the k-path index to a file. The graph itself is not
-// stored; pair BuildWithIndex with the same graph (e.g. reloaded from
-// its edge list) to reuse the index.
+// SaveIndex persists the k-path index to a file in format v1 (the
+// copy-decoded stream format). The graph itself is not stored; pair
+// BuildWithIndex with the same graph (e.g. reloaded from its edge list)
+// to reuse the index. Prefer SaveIndexV2 for new files: its layout opens
+// without a decode step.
 func (db *DB) SaveIndex(path string) error {
-	return db.engine.Index().Save(path)
+	return db.engine.Storage().(indexSaver).Save(path)
+}
+
+// SaveIndexV2 persists the k-path index to a file in the page-aligned
+// format v2, which Open and pathindex.OpenMapped serve zero-copy via
+// mmap — opening it later costs directory-only work regardless of index
+// size.
+func (db *DB) SaveIndexV2(path string) error {
+	return db.engine.Storage().(indexSaver).SaveV2(path)
+}
+
+// indexSaver is satisfied by both heap-backed and mapped indexes (a
+// mapped index re-serializes straight from its mapped runs).
+type indexSaver interface {
+	Save(path string) error
+	SaveV2(path string) error
+}
+
+// Open restores a ready-to-serve database from a graph edge-list file
+// and a format-v2 index file (written by SaveIndexV2 or the `rpq build`
+// command) without rebuilding anything: the index is memory-mapped and
+// queries scan it in place, so open time is independent of the relation
+// payload and cold starts are bounded by reading the graph file. The
+// returned DB serves exactly like one produced by Build with
+// zero-valued non-K Options; a DB built with explicit rewrite limits or
+// histogram resolution should be reopened with OpenWith and the same
+// Options to answer identically. Call Close to release the mapping when
+// done.
+func Open(graphPath, indexPath string) (*DB, error) {
+	return OpenWith(graphPath, indexPath, Options{})
+}
+
+// OpenWith is Open with explicit engine options (histogram resolution,
+// star bound, expansion limits). Options.K must be zero or match the
+// saved index; the index itself is never rebuilt.
+func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
+	g, err := graph.LoadEdgeList(graphPath)
+	if err != nil {
+		return nil, fmt.Errorf("pathdb: loading graph: %w", err)
+	}
+	ix, err := pathindex.OpenMapped(indexPath, g)
+	if err != nil {
+		return nil, err
+	}
+	if opts.K == 0 {
+		opts.K = ix.K()
+	}
+	engine, err := core.NewEngineFromStorage(ix, core.Options{
+		K:                opts.K,
+		HistogramBuckets: opts.HistogramBuckets,
+		StarBound:        opts.StarBound,
+		MaxDisjuncts:     opts.MaxDisjuncts,
+		MaxPathLength:    opts.MaxPathLength,
+	})
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	db := &DB{engine: engine}
+	db.SetDefaultStrategy(StrategyMinSupport)
+	return db, nil
+}
+
+// Close releases resources held by the database: for a DB produced by
+// Open this unmaps the index file. It must not be called concurrently
+// with queries. Close on a Build-produced DB is a no-op.
+func (db *DB) Close() error {
+	if c, ok := db.engine.Storage().(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// MigrateIndex rewrites a saved index file (either format version) as
+// format v2 at dst, making it servable by Open. g must be the graph the
+// index was built from, exactly as for BuildWithIndex.
+func MigrateIndex(src, dst string, g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("pathdb: nil graph")
+	}
+	g.Freeze()
+	return pathindex.Migrate(src, dst, g)
 }
 
 // BuildWithIndex opens a database over g using a previously saved index
-// instead of rebuilding it. The index must have been built from an
-// identical graph; the label vocabulary is verified on load.
+// (either format version, decoded onto the heap) instead of rebuilding
+// it. The index must have been built from an identical graph; the label
+// vocabulary is verified on load. Prefer Open for v2 files — it maps the
+// index instead of decoding it.
 func BuildWithIndex(g *Graph, indexPath string, opts Options) (*DB, error) {
 	if g == nil {
 		return nil, fmt.Errorf("pathdb: nil graph")
@@ -260,7 +346,7 @@ type IndexStats struct {
 
 // IndexStats returns statistics about the index.
 func (db *DB) IndexStats() IndexStats {
-	st := db.engine.Index().Stats()
+	st := db.engine.Storage().Stats()
 	return IndexStats{
 		Entries:     st.Entries,
 		LabelPaths:  st.LabelPaths,

@@ -1,0 +1,198 @@
+package pathdb_test
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	pathdb "repro"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	lines := []string{
+		"ada knows zoe", "zoe knows bob", "bob knows cid", "cid knows ada",
+		"bob worksFor ada", "zoe worksFor ada", "cid worksFor zoe",
+		"ada likes bob", "zoe likes cid",
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sortedNames(names [][2]string) [][2]string {
+	out := slices.Clone(names)
+	slices.SortFunc(out, func(a, b [2]string) int {
+		if a[0] != b[0] {
+			return strings.Compare(a[0], b[0])
+		}
+		return strings.Compare(a[1], b[1])
+	})
+	return out
+}
+
+// TestOpenServesWithoutRebuild is the save-once/open-many lifecycle:
+// build once, persist the index in format v2, then Open must serve
+// identical answers over the memory-mapped file with zero build work.
+func TestOpenServesWithoutRebuild(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	g, err := pathdb.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(t.TempDir(), "graph.pix")
+	if err := built.SaveIndexV2(indexPath); err != nil {
+		t.Fatal(err)
+	}
+
+	opened, err := pathdb.Open(graphPath, indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+
+	ws, bs := built.IndexStats(), opened.IndexStats()
+	if bs.Entries != ws.Entries || bs.LabelPaths != ws.LabelPaths || bs.PathsKCount != ws.PathsKCount {
+		t.Fatalf("opened index shape %+v differs from built %+v", bs, ws)
+	}
+	if bs.BuildMillis != 0 {
+		t.Errorf("opened index reports build time %.2f ms; nothing should have been built", bs.BuildMillis)
+	}
+
+	queries := []string{
+		"knows/worksFor", "knows{1,3}", "likes|worksFor^-", "knows*",
+		"(knows/likes)?", "worksFor^-/knows",
+	}
+	for _, q := range queries {
+		for _, s := range pathdb.Strategies() {
+			want, err := built.QueryWith(q, s)
+			if err != nil {
+				t.Fatalf("built eval of %q: %v", q, err)
+			}
+			got, err := opened.QueryWith(q, s)
+			if err != nil {
+				t.Fatalf("opened eval of %q: %v", q, err)
+			}
+			if !slices.Equal(sortedNames(got.Names), sortedNames(want.Names)) {
+				t.Fatalf("Open result for %q under %v differs from Build", q, s)
+			}
+		}
+		wantFrom, err := built.QueryFrom(q, "ada")
+		if err != nil {
+			t.Fatalf("built QueryFrom(%q): %v", q, err)
+		}
+		gotFrom, err := opened.QueryFrom(q, "ada")
+		if err != nil {
+			t.Fatalf("opened QueryFrom(%q): %v", q, err)
+		}
+		if !slices.Equal(gotFrom, wantFrom) {
+			t.Fatalf("Open QueryFrom for %q differs from Build", q)
+		}
+	}
+
+	// The serving layer runs over the mapping too.
+	srv := opened.Serve(pathdb.ServeOptions{})
+	res, err := srv.Query("knows/worksFor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Error("served query over mapped index returned no pairs")
+	}
+}
+
+// TestOpenWithHonorsOptions reopens with the same non-default engine
+// options as the original Build and checks the answers track them (the
+// star bound changes how far `knows*` expands on the 4-cycle).
+func TestOpenWithHonorsOptions(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	g, err := pathdb.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pathdb.Options{K: 2, StarBound: 1}
+	built, err := pathdb.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(t.TempDir(), "graph.pix")
+	if err := built.SaveIndexV2(indexPath); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := pathdb.OpenWith(graphPath, indexPath, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	want, err := built.Query("knows*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.Query("knows*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(sortedNames(got.Names), sortedNames(want.Names)) {
+		t.Fatal("OpenWith with matching options disagrees with Build")
+	}
+	// The default Open (star bound = node count) must expand further on
+	// this cycle than the bound-1 engine, proving the option actually
+	// reached the rewriter.
+	unbounded, err := pathdb.Open(graphPath, indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unbounded.Close()
+	full, err := unbounded.Query("knows*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Pairs) <= len(want.Pairs) {
+		t.Fatalf("unbounded knows* yields %d pairs, bounded %d; star bound did not take effect", len(full.Pairs), len(want.Pairs))
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	dir := t.TempDir()
+
+	if _, err := pathdb.Open(filepath.Join(dir, "missing.txt"), filepath.Join(dir, "missing.pix")); err == nil {
+		t.Error("Open with a missing graph file succeeded")
+	}
+	if _, err := pathdb.Open(graphPath, filepath.Join(dir, "missing.pix")); err == nil {
+		t.Error("Open with a missing index file succeeded")
+	}
+
+	// A v1 index must be rejected with a pointer at migration, not
+	// mis-parsed.
+	g, err := pathdb.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := filepath.Join(dir, "graph.v1")
+	if err := db.SaveIndex(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pathdb.Open(graphPath, v1); err == nil {
+		t.Error("Open accepted a v1 index file")
+	} else if !strings.Contains(err.Error(), "v1") {
+		t.Errorf("Open error on a v1 file should mention the version; got %v", err)
+	}
+
+	// Close on a Build-produced DB is a harmless no-op.
+	if err := db.Close(); err != nil {
+		t.Errorf("Close on a built DB: %v", err)
+	}
+}
