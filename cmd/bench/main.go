@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open]
+//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open|star]
 //	      [-scale 1.0] [-seed 1] [-runs 3] [-buckets 64]
 //	      [-clients 8] [-servedur 2s] [-serveout BENCH_serve.json]
-//	      [-openout BENCH_open.json]
+//	      [-openout BENCH_open.json] [-starout BENCH_star.json]
 //
 // Full scale (-scale 1.0) matches the published Advogato dimensions and
 // takes a few minutes, dominated by the k=3 index build; -scale 0.25
@@ -26,6 +26,12 @@
 // layer — full rebuild vs the v1 copy-decoding loader vs the v2
 // zero-copy mmap open — across index sizes, and writes the JSON report
 // to -openout.
+//
+// The star experiment (also selected implicitly by passing -starout with
+// -experiment all) measures Kleene-closure evaluation — the default
+// reachability/fixpoint routing versus the legacy bounded star
+// expansion — on a 201-node chain and the Advogato star queries, and
+// writes the JSON report to -starout.
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 	servedur := flag.Duration("servedur", 2*time.Second, "serve: measured window per client count")
 	serveout := flag.String("serveout", "BENCH_serve.json", "serve: JSON report output path")
 	openout := flag.String("openout", "BENCH_open.json", "open: JSON report output path")
+	starout := flag.String("starout", "BENCH_star.json", "star: JSON report output path")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -65,17 +72,21 @@ func main() {
 	}
 	what := *experiment
 	if what == "all" {
-		// Report flags implicitly select their experiment; passing both
-		// kinds runs both.
+		// Report flags implicitly select their experiment; passing
+		// several kinds runs them all.
 		wantOpen := flagPassed("openout")
 		wantServe := flagPassed("clients") || flagPassed("servedur") || flagPassed("serveout")
+		wantStar := flagPassed("starout")
 		if wantOpen {
 			die(runOpen(cfg, *openout))
 		}
 		if wantServe {
 			die(runServe(cfg, *clients, *servedur, *serveout))
 		}
-		if wantOpen || wantServe {
+		if wantStar {
+			die(runStar(cfg, *starout))
+		}
+		if wantOpen || wantServe || wantStar {
 			return
 		}
 	}
@@ -84,9 +95,23 @@ func main() {
 		die(runOpen(cfg, *openout))
 	case "serve":
 		die(runServe(cfg, *clients, *servedur, *serveout))
+	case "star":
+		die(runStar(cfg, *starout))
 	default:
 		die(run(what, cfg))
 	}
+}
+
+func runStar(cfg bench.Config, out string) error {
+	_, table, err := bench.RunStar(cfg, out)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.String())
+	if out != "" {
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
 }
 
 func flagPassed(name string) bool {

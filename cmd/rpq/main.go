@@ -217,8 +217,12 @@ func run(graphPath string, k int, strategyName string, buckets int, query, expla
 			return err
 		}
 		printPairs(res, limit)
-		fmt.Printf("%d pairs; %d disjuncts; rewrite %v, plan %v, exec %v\n",
-			len(res.Pairs), res.Stats.Disjuncts,
+		disjuncts := fmt.Sprintf("%d disjuncts", res.Stats.Disjuncts)
+		if res.Stats.Closures > 0 {
+			disjuncts += fmt.Sprintf(" + %d closures", res.Stats.Closures)
+		}
+		fmt.Printf("%d pairs; %s; rewrite %v, plan %v, exec %v\n",
+			len(res.Pairs), disjuncts,
 			res.Stats.RewriteTime.Round(1000), res.Stats.PlanTime.Round(1000), res.Stats.ExecTime.Round(1000))
 	}
 	return nil

@@ -30,9 +30,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nunion normal form (%d disjuncts):\n", len(norm.Paths))
+	fmt.Printf("\nunion normal form (%d disjuncts):\n", len(norm.Paths)+len(norm.Closures))
 	for _, p := range norm.Paths {
 		fmt.Printf("  %s   (length %d)\n", p, len(p))
+	}
+	// Unbounded stars are not expanded: they would appear here as
+	// closure disjuncts like a/(b|c)*/d, evaluated by fixpoint.
+	for _, s := range norm.Closures {
+		fmt.Printf("  %s   (closure, %d fixed steps)\n", s, s.FixedSteps())
 	}
 
 	// Stage 3: plan, on the paper's Figure 1 example graph, at k = 3 —

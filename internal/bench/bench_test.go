@@ -75,8 +75,8 @@ func TestFig2Smoke(t *testing.T) {
 		t.Fatalf("got %d tables, want one per k", len(tables))
 	}
 	for _, tab := range tables {
-		if len(tab.Rows) != 8 {
-			t.Errorf("table %q has %d rows, want 8", tab.Title, len(tab.Rows))
+		if len(tab.Rows) != 10 {
+			t.Errorf("table %q has %d rows, want 10", tab.Title, len(tab.Rows))
 		}
 		if len(tab.Header) != 6 {
 			t.Errorf("table %q has %d columns", tab.Title, len(tab.Header))
@@ -102,7 +102,7 @@ func TestDatalogComparisonSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 8 {
+	if len(tab.Rows) != 10 {
 		t.Fatalf("got %d rows", len(tab.Rows))
 	}
 	for _, row := range tab.Rows {
@@ -155,9 +155,37 @@ func TestReachSmoke(t *testing.T) {
 	if tab.Rows[2][1] != "n/a" {
 		t.Errorf("reachability index should reject the composition query: %v", tab.Rows[2])
 	}
-	// The multi-label star must overflow the path-index expansion.
-	if !strings.Contains(tab.Rows[1][4], "n/a") {
-		t.Errorf("multi-label star should hit the expansion limit: %v", tab.Rows[1])
+	// The multi-label star used to overflow the path-index expansion;
+	// the fixpoint closure operator must evaluate it.
+	if strings.Contains(tab.Rows[1][4], "n/a") {
+		t.Errorf("multi-label star should now evaluate by fixpoint: %v", tab.Rows[1])
+	}
+}
+
+func TestRunStarSmoke(t *testing.T) {
+	rep, tab, err := RunStar(tinyConfig(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 || len(tab.Rows) != 4 {
+		t.Fatalf("got %d points / %d rows, want 4 each", len(rep.Points), len(tab.Rows))
+	}
+	chainStar := rep.Points[0]
+	if chainStar.Query != "a*" || chainStar.Pairs != 201*202/2 {
+		t.Errorf("chain a* point wrong: %+v", chainStar)
+	}
+	if !chainStar.ReachRouted {
+		t.Errorf("a* is a restricted shape; want reach_routed")
+	}
+	if chainStar.ExpandMillis < 0 {
+		t.Errorf("legacy expansion of chain a* should succeed (n=201 < limits): %+v", chainStar)
+	}
+	multi := rep.Points[1]
+	if multi.Query != "(a|a^-)*" || multi.ExpandMillis >= 0 || multi.ExpandError == "" {
+		t.Errorf("chain (a|a^-)* must fail under legacy expansion: %+v", multi)
+	}
+	if multi.Pairs != 201*201 {
+		t.Errorf("chain (a|a^-)* pairs = %d, want %d", multi.Pairs, 201*201)
 	}
 }
 
@@ -166,8 +194,8 @@ func TestExecProfileSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 8 {
-		t.Fatalf("got %d rows, want 8", len(tab.Rows))
+	if len(tab.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(tab.Rows))
 	}
 	for _, row := range tab.Rows {
 		// Any query with intermediate rows must have recorded batches.

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/rpq"
+	"repro/internal/workload"
+)
+
+// The star experiment records the before/after of making Kleene closure
+// a first-class evaluation construct. For each star query it measures
+// the engine's default routing (reachability index for restricted
+// (l|...)* shapes, fixpoint otherwise), the forced fixpoint, and the
+// legacy n(G)-bounded expansion (core.Options.ExpandStars) — which on
+// the 201-node chain used to take ~580ms for a* and to die with an
+// expansion-limit error for (a|a^-)*.
+
+// StarPoint is one measured (graph, query) pair.
+type StarPoint struct {
+	Graph string `json:"graph"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Query string `json:"query"`
+	// Pairs is the result cardinality (identical across engines; the
+	// differential tests enforce it).
+	Pairs int `json:"pairs"`
+	// DefaultMillis is the engine's default closure routing.
+	DefaultMillis float64 `json:"default_ms"`
+	// ReachRouted reports whether the default engine served the query's
+	// closure from the reachability fast path (restricted shape).
+	ReachRouted bool `json:"reach_routed"`
+	// FixpointMillis forces the semi-naive fixpoint operator
+	// (core.Options.NoReachIndex).
+	FixpointMillis float64 `json:"fixpoint_ms"`
+	// ExpandMillis is the legacy bounded-expansion evaluation
+	// (core.Options.ExpandStars); negative when it fails.
+	ExpandMillis float64 `json:"expand_ms"`
+	// ExpandError is the legacy path's failure, when it has one.
+	ExpandError string `json:"expand_error,omitempty"`
+	// SpeedupVsExpand is ExpandMillis / DefaultMillis (0 when the
+	// legacy path fails — the speedup is then unbounded).
+	SpeedupVsExpand float64 `json:"speedup_vs_expand"`
+}
+
+// StarReport is serialized to BENCH_star.json by cmd/bench.
+type StarReport struct {
+	GoVersion string      `json:"go_version"`
+	CPUs      int         `json:"cpus"`
+	Runs      int         `json:"runs"`
+	Points    []StarPoint `json:"points"`
+	Note      string      `json:"note"`
+}
+
+// chainGraph builds the n-node a-labeled chain n0 -a-> n1 -a-> … — the
+// regression fixture on which a* used to cost ~580ms of expansion.
+func chainGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(fmt.Sprintf("n%d", i), "a", fmt.Sprintf("n%d", i+1))
+	}
+	g.Freeze()
+	return g
+}
+
+// starEngines builds the three engine variants over one graph.
+func starEngines(g *graph.Graph, buckets int) (def, fix, expand *core.Engine, err error) {
+	if def, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets}); err != nil {
+		return
+	}
+	if fix, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets, NoReachIndex: true}); err != nil {
+		return
+	}
+	expand, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets, ExpandStars: true})
+	return
+}
+
+// measureStar fills one StarPoint for query over the engine triple.
+func measureStar(c Config, name string, g *graph.Graph, def, fix, expand *core.Engine, qtext string) (StarPoint, error) {
+	expr := rpq.MustParse(qtext)
+	pt := StarPoint{Graph: name, Nodes: g.NumNodes(), Edges: g.NumEdges(), Query: qtext}
+
+	var pairs int
+	d, err := timeIt(c.Runs, func() error {
+		res, err := def.Eval(expr, plan.MinSupport)
+		if err != nil {
+			return err
+		}
+		pairs = len(res.Pairs)
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("bench: default eval of %q: %w", qtext, err)
+	}
+	pt.Pairs = pairs
+	pt.DefaultMillis = ms2(d)
+	// Report the routing the default engine actually chose, read off
+	// the compiled plan (reachability.CanHandle can disagree with the
+	// planner on edge cases like unions mentioning absent labels).
+	prep, err := def.Compile(expr, plan.MinSupport)
+	if err != nil {
+		return pt, err
+	}
+	for _, dj := range prep.Plan().Disjuncts {
+		if _, ok := dj.(*plan.Reach); ok {
+			pt.ReachRouted = true
+		}
+	}
+
+	d, err = timeIt(c.Runs, func() error {
+		_, err := fix.Eval(expr, plan.MinSupport)
+		return err
+	})
+	if err != nil {
+		return pt, fmt.Errorf("bench: fixpoint eval of %q: %w", qtext, err)
+	}
+	pt.FixpointMillis = ms2(d)
+
+	d, err = timeIt(c.Runs, func() error {
+		_, err := expand.Eval(expr, plan.MinSupport)
+		return err
+	})
+	if err != nil {
+		pt.ExpandMillis = -1
+		pt.ExpandError = err.Error()
+	} else {
+		pt.ExpandMillis = ms2(d)
+		if pt.DefaultMillis > 0 {
+			pt.SpeedupVsExpand = pt.ExpandMillis / pt.DefaultMillis
+		}
+	}
+	return pt, nil
+}
+
+// RunStar measures the closure engines on the chain regression fixture
+// and the Advogato star workload, and writes the JSON report to out.
+func RunStar(cfg Config, out string) (*StarReport, *Table, error) {
+	cfg = cfg.normalize()
+	report := &StarReport{
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Runs:      cfg.Runs,
+		Note: "default_ms is the engine's closure routing (reach_routed marks the reachability fast path); " +
+			"expand_ms is the legacy StarBound expansion (-1 = fails); the chain a* row is the headline regression",
+	}
+
+	type fixture struct {
+		name    string
+		g       *graph.Graph
+		queries []string
+	}
+	chain := chainGraph(201)
+	// Closure answers are quadratic in component size, so the Advogato
+	// fixture is capped like the Ext-4 reachability experiment's.
+	adv := AdvogatoStarScale(cfg)
+	g := datasets.AdvogatoScaled(cfg.Seed, adv)
+	var advQueries []string
+	for _, q := range workload.Advogato() {
+		if q.Name == "Q9" || q.Name == "Q10" {
+			advQueries = append(advQueries, q.Text)
+		}
+	}
+	fixtures := []fixture{
+		{"chain-201", chain, []string{"a*", "(a|a^-)*"}},
+		{fmt.Sprintf("advogato-%.2f", adv), g, advQueries},
+	}
+
+	tab := &Table{
+		Title:  "Star queries: closure evaluation vs legacy bounded expansion (ms)",
+		Header: []string{"graph", "query", "pairs", "default", "fixpoint", "expand", "speedup"},
+	}
+	for _, f := range fixtures {
+		def, fix, expand, err := starEngines(f.g, cfg.HistogramBuckets)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, q := range f.queries {
+			pt, err := measureStar(cfg, f.name, f.g, def, fix, expand, q)
+			if err != nil {
+				return nil, nil, err
+			}
+			report.Points = append(report.Points, pt)
+			expandCell := fmt.Sprintf("%.2f", pt.ExpandMillis)
+			speedupCell := fmt.Sprintf("%.0fx", pt.SpeedupVsExpand)
+			if pt.ExpandMillis < 0 {
+				expandCell = "n/a (" + shortErr(pt.ExpandError) + ")"
+				speedupCell = "inf"
+			}
+			tab.AddRow(f.name, q, fmt.Sprintf("%d", pt.Pairs),
+				fmt.Sprintf("%.2f", pt.DefaultMillis),
+				fmt.Sprintf("%.2f", pt.FixpointMillis),
+				expandCell, speedupCell)
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"default routes restricted (l|...)* shapes to a cached reachability index and everything else to the fixpoint operator",
+		"expand is the legacy n(G)-bounded star expansion (core.Options.ExpandStars), the pre-closure behavior")
+
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return nil, nil, err
+		}
+	}
+	return report, tab, nil
+}
+
+// AdvogatoStarScale caps the Advogato fixture for closure experiments:
+// star answers are quadratic in SCC size, so the full-scale graph is
+// never used directly.
+func AdvogatoStarScale(cfg Config) float64 { return minF(cfg.normalize().Scale, 0.1) }
+
+// shortErr truncates an error string for table cells.
+func shortErr(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

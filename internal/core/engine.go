@@ -10,13 +10,21 @@
 // strategies (naive, semiNaive, minSupport, minJoin), then execute the
 // operator tree and deduplicate the union of the disjunct results.
 //
+// Kleene closures are not expanded: the rewriter keeps them as
+// first-class factors, the planner turns them into fixpoint Closure
+// operators (or Reach nodes for the restricted (ℓ1|…|ℓm)* shape, served
+// from a per-label-set reachability index cached on the engine), and the
+// executor iterates a delta frontier until no new pairs appear.
+//
 // # Concurrency
 //
-// An Engine is immutable after construction: the graph, index, and
-// histogram are never written again, and every evaluation entry point
-// (Compile, Eval, EvalQuery, EvalFrom, Prepared.Execute,
-// Prepared.ExecuteParallel) builds its executor state — operator trees,
-// batch buffers, dedup sets, statistics — per call. All of them are safe
+// An Engine is effectively immutable after construction: the graph,
+// index, and histogram are never written again (the lazily built
+// reachability-index cache is the one lock-protected exception), and
+// every evaluation entry point (Compile, Eval, EvalQuery, EvalFrom,
+// Prepared.Execute, Prepared.ExecuteParallel) builds its executor
+// state — operator trees, batch buffers, dedup sets, statistics — per
+// call. All of them are safe
 // for concurrent use by any number of goroutines over one Engine, as is
 // sharing a single Prepared across goroutines (each Execute call gets a
 // fresh operator tree). Engine.Serve adds a plan cache on top for
@@ -25,6 +33,9 @@ package core
 
 import (
 	"fmt"
+	"slices"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
@@ -32,6 +43,7 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/pathindex"
 	"repro/internal/plan"
+	"repro/internal/reachability"
 	"repro/internal/rewrite"
 	"repro/internal/rpq"
 )
@@ -44,9 +56,19 @@ type Options struct {
 	// HistogramBuckets sets the equi-depth histogram resolution; 0 uses
 	// exact per-path statistics.
 	HistogramBuckets int
-	// StarBound bounds unbounded repetitions (R*, R+, R{i,}) during
-	// rewriting; 0 uses the node count, the paper's n(G) observation.
+	// StarBound bounds unbounded repetitions (R*, R+, R{i,}) when
+	// ExpandStars is set; 0 uses the node count, the paper's n(G)
+	// observation. In the default closure mode it is unused.
 	StarBound int
+	// ExpandStars restores the legacy rewrite of unbounded repetitions
+	// into StarBound-bounded unions instead of first-class closure
+	// operators (ablation; the baseline of the star benchmark and the
+	// closure differential tests).
+	ExpandStars bool
+	// NoReachIndex disables the reachability-index fast path for
+	// restricted closures (ℓ1|…|ℓm)*, forcing the general fixpoint
+	// operator (ablation).
+	NoReachIndex bool
 	// MaxDisjuncts and MaxPathLength bound query expansion; 0 uses the
 	// rewrite package defaults.
 	MaxDisjuncts  int
@@ -66,9 +88,11 @@ type Options struct {
 	NoDerivedInverses bool
 }
 
-// Engine evaluates RPQs over one indexed graph. All fields are frozen by
-// construction, so one Engine may serve any number of concurrent
-// callers; see the package comment for the full contract.
+// Engine evaluates RPQs over one indexed graph. The graph, index, and
+// histogram are frozen by construction, and the only mutable state — the
+// lazily built reachability-index cache — is lock-protected, so one
+// Engine may serve any number of concurrent callers; see the package
+// comment for the full contract.
 //
 // The index is held through the pathindex.Storage interface, so an
 // engine serves heap-built indexes and memory-mapped on-disk indexes
@@ -80,6 +104,24 @@ type Engine struct {
 	ix   pathindex.Storage
 	hist *histogram.Histogram
 	opts Options
+
+	// reach caches reachability indexes per direction-qualified label
+	// set, built lazily the first time a restricted closure over that
+	// set executes. It is the engine's only mutable state; the mutex
+	// guards only the map (builds run outside it, once per key), and a
+	// built index is itself immutable.
+	reachMu sync.Mutex
+	reach   map[string]*reachEntry
+}
+
+// reachEntry is one lazily built reachability index. The once gate runs
+// the build outside the engine's map lock, so a slow SCC condensation
+// for one label set never blocks queries over other (or already built)
+// label sets.
+type reachEntry struct {
+	once sync.Once
+	ix   *reachability.Index
+	err  error
 }
 
 // NewEngine builds the k-path index and histogram for g and returns an
@@ -152,6 +194,7 @@ func (e *Engine) K() int { return e.opts.K }
 // Stats describes one query evaluation.
 type Stats struct {
 	Disjuncts       int           // label-path disjuncts after rewriting
+	Closures        int           // Kleene-closure disjuncts after rewriting
 	DroppedEmpty    int           // disjuncts dropped (labels absent from the graph)
 	HasEpsilon      bool          // identity disjunct present
 	PlanCost        float64       // estimated plan cost
@@ -204,9 +247,76 @@ func (e *Engine) rewriteOptions() rewrite.Options {
 	}
 	return rewrite.Options{
 		StarBound:     starBound,
+		ExpandStars:   e.opts.ExpandStars,
 		MaxDisjuncts:  e.opts.MaxDisjuncts,
 		MaxPathLength: e.opts.MaxPathLength,
 	}
+}
+
+// reachKey builds the cache key for a direction-qualified label set.
+// Labels are sorted so the key is order-insensitive (the closure of a
+// label set does not depend on enumeration order).
+func reachKey(labels []graph.DirLabel) string {
+	sorted := make([]graph.DirLabel, len(labels))
+	copy(sorted, labels)
+	slices.Sort(sorted)
+	var b strings.Builder
+	for _, l := range sorted {
+		fmt.Fprintf(&b, "%d,", l)
+	}
+	return b.String()
+}
+
+// ReachIndex returns the reachability index for the subgraph induced by
+// labels, building it on first use and caching it on the engine. It
+// implements exec.ReachProvider for the restricted-closure fast path and
+// is safe for concurrent use.
+func (e *Engine) ReachIndex(labels []graph.DirLabel) (*reachability.Index, error) {
+	key := reachKey(labels)
+	e.reachMu.Lock()
+	if e.reach == nil {
+		e.reach = map[string]*reachEntry{}
+	}
+	ent, ok := e.reach[key]
+	if !ok {
+		ent = &reachEntry{}
+		e.reach[key] = ent
+	}
+	e.reachMu.Unlock()
+	ent.once.Do(func() { ent.ix, ent.err = reachability.Build(e.g, labels) })
+	return ent.ix, ent.err
+}
+
+// resolveSeq resolves a star-factored closure sequence against the
+// graph vocabulary. ok=false means the sequence's relation is empty (a
+// fixed segment mentions an unknown label). Body sequences with unknown
+// labels are dropped from their closure (their relations are empty);
+// a closure whose whole body drops is the identity, so the element
+// vanishes — a sequence that loses every element this way degenerates
+// to ε, which the caller folds into HasEpsilon.
+func (e *Engine) resolveSeq(s rewrite.Seq) (plan.Seq, bool) {
+	var out plan.Seq
+	for _, el := range s.Elems {
+		if !el.IsStar() {
+			rp, ok := pathindex.Resolve(e.g, el.Seg)
+			if !ok {
+				return plan.Seq{}, false
+			}
+			out.Elems = append(out.Elems, plan.SeqElem{Seg: rp})
+			continue
+		}
+		var body []plan.Seq
+		for _, bs := range el.Star {
+			if rb, ok := e.resolveSeq(bs); ok && len(rb.Elems) > 0 {
+				body = append(body, rb)
+			}
+		}
+		if len(body) == 0 {
+			continue
+		}
+		out.Elems = append(out.Elems, plan.SeqElem{Star: body})
+	}
+	return out, true
 }
 
 // Compile parses nothing (the expression is already an AST) but performs
@@ -230,8 +340,11 @@ func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st S
 	st.HasEpsilon = norm.HasEpsilon
 
 	// Resolve disjuncts against the graph vocabulary; paths mentioning
-	// unknown labels have empty relations and are dropped.
+	// unknown labels have empty relations and are dropped. A closure
+	// sequence whose elements all vanish (stars over unknown labels)
+	// degenerates to the identity.
 	t1 := time.Now()
+	hasEpsilon := norm.HasEpsilon
 	var disjuncts []pathindex.Path
 	for _, p := range norm.Paths {
 		rp, ok := pathindex.Resolve(e.g, p)
@@ -241,15 +354,31 @@ func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st S
 		}
 		disjuncts = append(disjuncts, rp)
 	}
+	var closures []plan.Seq
+	for _, s := range norm.Closures {
+		rs, ok := e.resolveSeq(s)
+		if !ok {
+			st.DroppedEmpty++
+			continue
+		}
+		if len(rs.Elems) == 0 {
+			hasEpsilon = true
+			continue
+		}
+		closures = append(closures, rs)
+	}
 	st.Disjuncts = len(disjuncts)
+	st.Closures = len(closures)
+	st.HasEpsilon = hasEpsilon
 
 	planner := &plan.Planner{
-		K:        e.opts.K,
-		Hist:     e.hist,
-		NumNodes: e.g.NumNodes(),
-		HashOnly: e.opts.HashOnly,
+		K:            e.opts.K,
+		Hist:         e.hist,
+		NumNodes:     e.g.NumNodes(),
+		HashOnly:     e.opts.HashOnly,
+		NoReachIndex: e.opts.NoReachIndex,
 	}
-	pln, err := planner.PlanPaths(disjuncts, norm.HasEpsilon, strategy)
+	pln, err := planner.PlanQuery(disjuncts, closures, hasEpsilon, strategy)
 	if err != nil {
 		return nil, fmt.Errorf("core: planning query: %w", err)
 	}
@@ -272,6 +401,7 @@ func (p *Prepared) Execute() (*Result, error) {
 	t0 := time.Now()
 	op, err := exec.Build(p.plan, p.engine.ix, exec.BuildOptions{
 		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
+		Reach:        p.engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building operators: %w", err)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/pathindex"
+	"repro/internal/plan"
 	"repro/internal/rewrite"
 	"repro/internal/rpq"
 )
@@ -15,7 +16,10 @@ import (
 // evaluated by sideways information passing over the index's
 // ⟨path, source⟩ prefix lookups (the I_{G,k}(⟨p, a⟩) operation of the
 // paper's Example 3.1), expanding a frontier of nodes one length-≤k
-// segment at a time.
+// segment at a time. Closure disjuncts expand their frontier by
+// breadth-first fixpoint over the closure body (no pair relation is ever
+// built), so star queries from a single source cost
+// O(reachable · body expansion).
 //
 // Targets are returned sorted ascending.
 func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, error) {
@@ -35,7 +39,20 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 		if !ok {
 			continue
 		}
-		for _, t := range e.evalDisjunctFrom(rp, src) {
+		for _, t := range e.expandPathFromSet([]graph.NodeID{src}, rp) {
+			result[t] = true
+		}
+	}
+	for _, s := range norm.Closures {
+		rs, ok := e.resolveSeq(s)
+		if !ok {
+			continue
+		}
+		if len(rs.Elems) == 0 {
+			result[src] = true
+			continue
+		}
+		for _, t := range e.evalSeqFromSet([]graph.NodeID{src}, rs) {
 			result[t] = true
 		}
 	}
@@ -47,10 +64,11 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 	return out, nil
 }
 
-// evalDisjunctFrom expands src through the disjunct's greedy length-k
-// segments, deduplicating the frontier between segments.
-func (e *Engine) evalDisjunctFrom(d pathindex.Path, src graph.NodeID) []graph.NodeID {
-	frontier := []graph.NodeID{src}
+// expandPathFromSet expands a frontier of nodes through the disjunct's
+// greedy length-k segments, deduplicating the frontier between segments.
+// It returns the distinct targets (unordered).
+func (e *Engine) expandPathFromSet(frontier []graph.NodeID, d pathindex.Path) []graph.NodeID {
+	cur := frontier
 	for start := 0; start < len(d); start += e.opts.K {
 		end := start + e.opts.K
 		if end > len(d) {
@@ -58,10 +76,10 @@ func (e *Engine) evalDisjunctFrom(d pathindex.Path, src graph.NodeID) []graph.No
 		}
 		seg := d[start:end]
 		next := map[graph.NodeID]bool{}
-		for _, n := range frontier {
+		for _, n := range cur {
 			// SrcRange hands back the ⟨seg, n⟩ run of the index as one
-			// zero-copy slice; walking it directly avoids the per-pair
-			// iterator calls of the old ScanFrom loop.
+			// zero-copy slice; walking it directly avoids per-pair
+			// iterator calls.
 			for _, pr := range e.ix.SrcRange(seg, n) {
 				next[pr.Dst()] = true
 			}
@@ -69,12 +87,63 @@ func (e *Engine) evalDisjunctFrom(d pathindex.Path, src graph.NodeID) []graph.No
 		if len(next) == 0 {
 			return nil
 		}
-		frontier = frontier[:0]
+		cur = make([]graph.NodeID, 0, len(next))
 		for t := range next {
-			frontier = append(frontier, t)
+			cur = append(cur, t)
 		}
 	}
-	return frontier
+	return cur
+}
+
+// evalSeqFromSet expands a frontier through a resolved star-factored
+// sequence: fixed segments via the index's prefix lookups, closure
+// factors via closeFromSet.
+func (e *Engine) evalSeqFromSet(frontier []graph.NodeID, s plan.Seq) []graph.NodeID {
+	cur := frontier
+	for _, el := range s.Elems {
+		if !el.IsStar() {
+			cur = e.expandPathFromSet(cur, el.Seg)
+		} else {
+			cur = e.closeFromSet(cur, el.Star)
+		}
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// closeFromSet computes the closure of a node set under a union of body
+// sequences by breadth-first fixpoint: the work list holds nodes whose
+// body expansions have not been explored yet; newly reached nodes join
+// both the visited set and the work list, and the loop terminates when
+// an iteration discovers nothing (at most |V| discoveries in total).
+func (e *Engine) closeFromSet(nodes []graph.NodeID, body []plan.Seq) []graph.NodeID {
+	visited := make(map[graph.NodeID]bool, len(nodes))
+	work := make([]graph.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if !visited[n] {
+			visited[n] = true
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		var next []graph.NodeID
+		for _, bs := range body {
+			for _, t := range e.evalSeqFromSet(work, bs) {
+				if !visited[t] {
+					visited[t] = true
+					next = append(next, t)
+				}
+			}
+		}
+		work = next
+	}
+	out := make([]graph.NodeID, 0, len(visited))
+	for t := range visited {
+		out = append(out, t)
+	}
+	return out
 }
 
 // EvalQueryFrom parses query and computes its single-source answer from

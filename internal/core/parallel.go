@@ -21,7 +21,10 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 	if workers < 2 || len(p.plan.Disjuncts) < 2 {
 		return p.Execute()
 	}
-	buildOpts := exec.BuildOptions{PerJoinDedup: !p.engine.opts.NoIntermediateDedup}
+	buildOpts := exec.BuildOptions{
+		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
+		Reach:        p.engine,
+	}
 
 	type chunk struct {
 		batch []pathindex.Pair

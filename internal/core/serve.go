@@ -24,15 +24,21 @@ type ServeOptions struct {
 }
 
 // cachedPlan is the unit the serving layer memoizes: the physical plan
-// plus the compile-time statistics that describe it. The plan is
-// immutable once planned (execution builds fresh operator trees from
-// it), so one cachedPlan may back any number of concurrent executions.
-// canonKey remembers the canonical-tier key so text-tier hits can
-// refresh the shared entry's recency.
+// plus the compile-time statistics that describe it — or, for negative
+// entries, the compile error itself, so a hot failing query (a parse
+// error, an expansion-limit blowout) pays the full pipeline once
+// instead of on every request. The plan is immutable once planned
+// (execution builds fresh operator trees from it), so one cachedPlan
+// may back any number of concurrent executions. canonKey remembers the
+// canonical-tier key so text-tier hits can refresh the shared entry's
+// recency.
 type cachedPlan struct {
 	plan     *plan.Plan
 	stats    Stats
 	canonKey string
+	// err marks a negative entry: the memoized parse/rewrite/plan
+	// failure. plan is nil when err is non-nil.
+	err error
 }
 
 // prepared wraps the cached compilation for one request, with the
@@ -65,6 +71,7 @@ type Server struct {
 	requests   atomic.Int64 // all Prepare/Query entries
 	planBuilds atomic.Int64 // full misses that ran the planner
 	errors     atomic.Int64 // requests that failed (parse/rewrite/plan)
+	negHits    atomic.Int64 // failed requests answered from a negative cache entry
 }
 
 // Serve returns a concurrent serving front end over the engine. Multiple
@@ -93,6 +100,14 @@ func (s *Server) Prepare(query string, strategy plan.Strategy) (*Prepared, error
 	textKey := key(query, strategy)
 	if s.cache != nil {
 		if cp, ok := s.cache.Get(textKey); ok {
+			if cp.err != nil {
+				// Negative hit: the query is known to fail compilation;
+				// return the memoized error without re-paying the
+				// pipeline (rewrite blowouts cost hundreds of ms).
+				s.negHits.Add(1)
+				s.errors.Add(1)
+				return nil, cp.err
+			}
 			if cp.canonKey != textKey {
 				// Keep the shared canonical entry hot too: otherwise
 				// steady traffic through one text alias would let the
@@ -109,6 +124,7 @@ func (s *Server) Prepare(query string, strategy plan.Strategy) (*Prepared, error
 	expr, err := rpq.Parse(query)
 	if err != nil {
 		s.errors.Add(1)
+		s.cacheNegative(textKey, err)
 		return nil, err
 	}
 	prep, err := s.prepareExpr(expr, textKey, strategy)
@@ -117,6 +133,16 @@ func (s *Server) Prepare(query string, strategy plan.Strategy) (*Prepared, error
 		return nil, err
 	}
 	return prep, nil
+}
+
+// cacheNegative memoizes a compile failure under k so repeats of the
+// failing query are answered from the cache. Negative entries occupy
+// regular cache slots and age out under the same LRU policy.
+func (s *Server) cacheNegative(k string, err error) {
+	if s.cache == nil || k == "" {
+		return
+	}
+	s.cache.Put(k, &cachedPlan{err: err})
 }
 
 // PrepareExpr is Prepare for an already-parsed expression. Only the
@@ -136,12 +162,24 @@ func (s *Server) prepareExpr(expr rpq.Expr, textKey string, strategy plan.Strate
 	t0 := time.Now()
 	norm, err := rewrite.Normalize(expr, s.e.rewriteOptions())
 	if err != nil {
-		return nil, fmt.Errorf("core: rewriting query: %w", err)
+		err = fmt.Errorf("core: rewriting query: %w", err)
+		// Rewrite failures happen before a canonical key exists, so the
+		// negative entry can only hang off the exact query text.
+		s.cacheNegative(textKey, err)
+		return nil, err
 	}
 	st.RewriteTime = time.Since(t0)
 	canonKey := key(norm.CanonicalKey(), strategy)
 	if s.cache != nil {
 		if cp, ok := s.cache.Get(canonKey); ok {
+			if cp.err != nil {
+				// Canonical-tier negative hit: planning is known to
+				// fail for this normal form. Alias the text so the next
+				// repeat skips the rewrite too.
+				s.negHits.Add(1)
+				s.cacheNegative(textKey, cp.err)
+				return nil, cp.err
+			}
 			if textKey != "" && textKey != canonKey {
 				s.cache.Put(textKey, cp)
 			}
@@ -155,6 +193,8 @@ func (s *Server) prepareExpr(expr rpq.Expr, textKey string, strategy plan.Strate
 	}
 	prep, err := s.e.compileNormal(norm, strategy, st)
 	if err != nil {
+		s.cacheNegative(textKey, err)
+		s.cacheNegative(canonKey, err)
 		return nil, err
 	}
 	s.planBuilds.Add(1)
@@ -198,6 +238,10 @@ type ServeStats struct {
 	PlanBuilds int64
 	// Errors counts requests that failed before execution.
 	Errors int64
+	// NegativeHits counts the subset of Errors answered from a negative
+	// cache entry — the memoized compile failure was returned without
+	// re-running the pipeline.
+	NegativeHits int64
 	// Cache holds the plan cache's own counters. Note that one request
 	// may perform several lookups (text tier, canonical tier, and a
 	// recency refresh of the canonical entry on text-tier hits), so
@@ -207,14 +251,15 @@ type ServeStats struct {
 }
 
 // HitRate returns the fraction of requests served without running the
-// planner: (Requests - PlanBuilds - Errors) / Requests, clamped to
-// [0, 1] (a snapshot taken during traffic can be slightly skewed).
-// Zero before any request.
+// rewrite+plan pipeline: (Requests - PlanBuilds - (Errors -
+// NegativeHits)) / Requests, clamped to [0, 1] (a snapshot taken during
+// traffic can be slightly skewed). Negative hits count as hits — the
+// memoized failure was served from the cache. Zero before any request.
 func (st ServeStats) HitRate() float64 {
 	if st.Requests == 0 {
 		return 0
 	}
-	hits := st.Requests - st.PlanBuilds - st.Errors
+	hits := st.Requests - st.PlanBuilds - (st.Errors - st.NegativeHits)
 	if hits < 0 {
 		hits = 0
 	}
@@ -228,8 +273,9 @@ func (st ServeStats) HitRate() float64 {
 // request cannot make them exceed Requests in the snapshot.
 func (s *Server) Stats() ServeStats {
 	st := ServeStats{
-		PlanBuilds: s.planBuilds.Load(),
-		Errors:     s.errors.Load(),
+		PlanBuilds:   s.planBuilds.Load(),
+		NegativeHits: s.negHits.Load(),
+		Errors:       s.errors.Load(),
 	}
 	st.Requests = s.requests.Load()
 	if s.cache != nil {

@@ -199,3 +199,68 @@ func TestServeCanonicalReinstatedAfterEviction(t *testing.T) {
 		t.Errorf("PlanBuilds rose from %d to %d; want no replan", before, got)
 	}
 }
+
+// TestServeNegativeCaching: a hot failing query must pay the full
+// compile pipeline once; repeats are answered from the negative cache
+// entry with the same error.
+func TestServeNegativeCaching(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 20, 40, []string{"a", "b"})
+	e, err := NewEngine(g, Options{K: 2, MaxDisjuncts: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Serve(ServeOptions{CacheCapacity: 16})
+
+	// A rewrite-limit failure (the hot-failing-query scenario).
+	const bad = "(a|b){12}"
+	_, err1 := s.Query(bad, plan.MinSupport)
+	if err1 == nil {
+		t.Fatal("expected a rewrite limit error")
+	}
+	st := s.Stats()
+	if st.Errors != 1 || st.NegativeHits != 0 {
+		t.Fatalf("after first failure: errors=%d negHits=%d, want 1/0", st.Errors, st.NegativeHits)
+	}
+	for i := 0; i < 3; i++ {
+		_, err2 := s.Query(bad, plan.MinSupport)
+		if err2 == nil || err2.Error() != err1.Error() {
+			t.Fatalf("negative hit returned %v, want the memoized %v", err2, err1)
+		}
+	}
+	st = s.Stats()
+	if st.Errors != 4 || st.NegativeHits != 3 {
+		t.Errorf("after repeats: errors=%d negHits=%d, want 4/3", st.Errors, st.NegativeHits)
+	}
+	// Negative hits skipped the pipeline, so they count toward HitRate.
+	if hr := st.HitRate(); hr != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75 (3 negative hits of 4 requests)", hr)
+	}
+
+	// Parse errors are negative-cached too.
+	_, perr := s.Query("a//b", plan.MinSupport)
+	if perr == nil {
+		t.Fatal("expected a parse error")
+	}
+	if _, perr2 := s.Query("a//b", plan.MinSupport); perr2 == nil {
+		t.Fatal("repeat parse failure should return the cached error")
+	}
+	if st = s.Stats(); st.NegativeHits != 4 {
+		t.Errorf("parse repeat not served negatively: negHits=%d, want 4", st.NegativeHits)
+	}
+
+	// Successful queries still work and are unaffected.
+	if _, err := s.Query("a/b", plan.MinSupport); err != nil {
+		t.Fatal(err)
+	}
+
+	// With caching disabled, failures are recomputed and never negative.
+	off := e.Serve(ServeOptions{CacheCapacity: -1})
+	for i := 0; i < 2; i++ {
+		if _, err := off.Query(bad, plan.MinSupport); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if st := off.Stats(); st.NegativeHits != 0 || st.Errors != 2 {
+		t.Errorf("cache-off server: errors=%d negHits=%d, want 2/0", st.Errors, st.NegativeHits)
+	}
+}

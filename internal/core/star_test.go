@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/reachability"
+	"repro/internal/rewrite"
+	"repro/internal/rpq"
+
+	"repro/internal/plan"
+)
+
+// starTestEngines builds the three closure-evaluation variants over one
+// graph: the default (reachability fast path + fixpoint), the forced
+// fixpoint, and the legacy bounded expansion.
+func starTestEngines(t *testing.T, g *graph.Graph) (def, fix, expand *Engine) {
+	t.Helper()
+	var err error
+	if def, err = NewEngine(g, Options{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if fix, err = NewEngine(g, Options{K: 2, NoReachIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The legacy baseline gets a tight disjunct cap: without it, a
+	// multi-label star on a ~15-node graph expands to just under the
+	// 65536 default (2^15 disjuncts) and "succeeds" into a
+	// gigabyte-scale operator tree — the pathology the closure
+	// operators remove. Capped, such cases fail fast with a LimitError
+	// and the differential skips them.
+	if expand, err = NewEngine(g, Options{K: 2, ExpandStars: true, MaxDisjuncts: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	return def, fix, expand
+}
+
+// TestDifferentialClosureEngines is the closure differential test the
+// issue asks for: on random small graphs, the fixpoint operator, the
+// reachability fast path, and the legacy bounded expansion must agree
+// with each other and with the automaton oracle, across all four
+// strategies and EvalFrom. Graphs are kept small enough that bounded
+// expansion (star bound n(G)) is exact and affordable.
+func TestDifferentialClosureEngines(t *testing.T) {
+	queries := []string{
+		"a*", "b*", "(a|b)*", "(a|b^-)*", // restricted shapes (reach-routed)
+		"a/b*", "a*/b", "a/(a|b)*/b", // closures inside compositions
+		"(a/b)*", "a+", "a{2,}", "b?/a*", // longer bodies, mandatory prefixes
+		"(a*)*", "(a|b*)*", "(a/b*)*", // nested stars
+		"a*|b/a", "(a|b)*|a/b*", // unions mixing paths and closures
+	}
+	for seed := int64(40); seed < 43; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 10+r.Intn(10), 25, []string{"a", "b"})
+		def, fix, expand := starTestEngines(t, g)
+		for _, text := range queries {
+			expr := rpq.MustParse(text)
+			want, err := automaton.Eval(expr, g)
+			if err != nil {
+				t.Fatalf("seed %d: automaton oracle on %q: %v", seed, text, err)
+			}
+			wantSorted := sortedPairs(want)
+			for _, strat := range plan.Strategies() {
+				for name, e := range map[string]*Engine{"default": def, "fixpoint": fix} {
+					res, err := e.Eval(expr, strat)
+					if err != nil {
+						t.Fatalf("seed %d: %s eval of %q under %v: %v", seed, name, text, strat, err)
+					}
+					if !slices.Equal(sortedPairs(res.Pairs), wantSorted) {
+						t.Errorf("seed %d: %s engine disagrees with automaton on %q under %v",
+							seed, name, text, strat)
+					}
+				}
+				res, err := expand.Eval(expr, strat)
+				if err != nil {
+					var le *rewrite.LimitError
+					if errors.As(err, &le) {
+						continue // expansion too large; the other engines stand
+					}
+					t.Fatalf("seed %d: expansion eval of %q under %v: %v", seed, text, strat, err)
+				}
+				if !slices.Equal(sortedPairs(res.Pairs), wantSorted) {
+					t.Errorf("seed %d: bounded expansion disagrees with automaton on %q under %v",
+						seed, text, strat)
+				}
+			}
+			// EvalFrom must agree with the filtered pair relation.
+			src := graph.NodeID(r.Intn(g.NumNodes()))
+			var wantFrom []graph.NodeID
+			for _, pr := range wantSorted {
+				if pr.Src == src {
+					wantFrom = append(wantFrom, pr.Dst)
+				}
+			}
+			for name, e := range map[string]*Engine{"default": def, "fixpoint": fix} {
+				gotFrom, err := e.EvalFrom(expr, src)
+				if err != nil {
+					t.Fatalf("seed %d: %s EvalFrom(%q, %d): %v", seed, name, text, src, err)
+				}
+				if !slices.Equal(gotFrom, wantFrom) {
+					t.Errorf("seed %d: %s EvalFrom disagrees on %q from %d: got %v want %v",
+						seed, name, text, src, gotFrom, wantFrom)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomStarQueries extends the differential test to
+// randomly generated expressions containing unbounded repetitions.
+func TestDifferentialRandomStarQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	g := randomGraph(r, 12, 30, []string{"a", "b"})
+	def, fix, _ := starTestEngines(t, g)
+	genOpts := rpq.GenOptions{
+		Labels: []string{"a", "b"}, MaxDepth: 3, MaxFanout: 2,
+		MaxRepeatBound: 2, AllowInverse: true, AllowUnbounded: true,
+	}
+	for i := 0; i < 40; i++ {
+		expr := rpq.Generate(r, genOpts)
+		want, err := automaton.Eval(expr, g)
+		if err != nil {
+			t.Fatalf("automaton oracle on %q: %v", expr, err)
+		}
+		wantSorted := sortedPairs(want)
+		for _, strat := range plan.Strategies() {
+			for name, e := range map[string]*Engine{"default": def, "fixpoint": fix} {
+				res, err := e.Eval(expr, strat)
+				if err != nil {
+					t.Fatalf("%s eval of %q under %v: %v", name, expr, strat, err)
+				}
+				if !slices.Equal(sortedPairs(res.Pairs), wantSorted) {
+					t.Errorf("%s engine disagrees with automaton on %q under %v", name, expr, strat)
+				}
+			}
+		}
+	}
+}
+
+// TestRestrictedStarMatchesReachability is the regression the issue
+// names: (a|a^-)* must succeed (it used to die with an expansion-limit
+// error) and return exactly the reachability index's answer, both via
+// the default reach routing and the forced fixpoint.
+func TestRestrictedStarMatchesReachability(t *testing.T) {
+	g := chainTestGraph(t, 201)
+	def, fix, expand := starTestEngines(t, g)
+	expr := rpq.MustParse("(a|a^-)*")
+
+	want, err := reachability.Eval(expr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSorted := sortedPairs(want)
+	for name, e := range map[string]*Engine{"default": def, "fixpoint": fix} {
+		res, err := e.Eval(expr, plan.MinSupport)
+		if err != nil {
+			t.Fatalf("%s eval of (a|a^-)*: %v", name, err)
+		}
+		if !slices.Equal(sortedPairs(res.Pairs), wantSorted) {
+			t.Errorf("%s engine disagrees with reachability.Eval on (a|a^-)*", name)
+		}
+	}
+	// The legacy path must still fail on this shape (2^201 disjuncts),
+	// documenting what the closure operators fixed.
+	if _, err := expand.Eval(expr, plan.MinSupport); err == nil {
+		t.Error("bounded expansion of (a|a^-)* on a 201-node chain should exceed limits")
+	}
+}
+
+func chainTestGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(fmt.Sprintf("n%d", i), "a", fmt.Sprintf("n%d", i+1))
+	}
+	g.Freeze()
+	return g
+}
+
+// TestChainStarFast is the performance regression test: a* on a
+// 200-edge chain used to cost ~580ms of disjunct expansion; closure
+// evaluation must finish in single-digit milliseconds (asserted with
+// CI headroom).
+func TestChainStarFast(t *testing.T) {
+	g := chainTestGraph(t, 201)
+	def, fix, _ := starTestEngines(t, g)
+	wantPairs := 201 * 202 / 2 // identity + all ordered chain pairs
+
+	for name, e := range map[string]*Engine{"default": def, "fixpoint": fix} {
+		start := time.Now()
+		res, err := e.EvalQuery("a*", plan.MinSupport)
+		if err != nil {
+			t.Fatalf("%s a*: %v", name, err)
+		}
+		elapsed := time.Since(start)
+		if len(res.Pairs) != wantPairs {
+			t.Errorf("%s a* returned %d pairs, want %d", name, len(res.Pairs), wantPairs)
+		}
+		if res.Stats.Closures != 1 || res.Stats.Disjuncts != 0 {
+			t.Errorf("%s a* stats: %d closures / %d path disjuncts, want 1/0",
+				name, res.Stats.Closures, res.Stats.Disjuncts)
+		}
+		// ~4ms measured; 100ms leaves ~25x headroom for slow CI while
+		// still catching any return of the 580ms expansion path.
+		if elapsed > 100*time.Millisecond {
+			t.Errorf("%s a* took %v; the expansion path is back?", name, elapsed)
+		}
+	}
+}
+
+// TestExplainClosureNodes checks the new node kinds surface in Explain.
+func TestExplainClosureNodes(t *testing.T) {
+	g := chainTestGraph(t, 10)
+	def, fix, _ := starTestEngines(t, g)
+
+	out, err := def.Explain("a*", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "reach-scan") {
+		t.Errorf("default Explain of a* lacks reach-scan:\n%s", out)
+	}
+	out, err = fix.Explain("a*", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "closure [fixpoint]") || !contains(out, "identity (ε)") {
+		t.Errorf("fixpoint Explain of a* lacks closure node:\n%s", out)
+	}
+	out, err = def.Explain("a/(a)*", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "closure [fixpoint]") || !contains(out, "input: scan") {
+		t.Errorf("Explain of a/(a)* lacks closure with scan input:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// TestExecuteParallelClosures checks the parallel executor handles
+// closure and reach disjuncts (workers build their own operator trees,
+// sharing the engine's reachability cache).
+func TestExecuteParallelClosures(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	g := randomGraph(r, 15, 30, []string{"a", "b"})
+	e := newTestEngine(t, g, 2)
+	for _, text := range []string{"a*|b/a*|(a|b)*", "a/b*|b*|a*"} {
+		prep, err := e.Compile(rpq.MustParse(text), plan.MinSupport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := prep.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := prep.ExecuteParallel(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(sortedPairs(got.Pairs), sortedPairs(want.Pairs)) {
+			t.Errorf("ExecuteParallel disagrees with Execute on %q", text)
+		}
+	}
+}
+
+// TestReachIndexCached checks the engine builds one reachability index
+// per label set and reuses it across executions and label orderings.
+func TestReachIndexCached(t *testing.T) {
+	g := chainTestGraph(t, 20)
+	e := newTestEngine(t, g, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := e.EvalQuery("(a|a^-)*", plan.MinSupport); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EvalQuery("(a^-|a)*", plan.MinSupport); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.reachMu.Lock()
+	n := len(e.reach)
+	e.reachMu.Unlock()
+	if n != 1 {
+		t.Errorf("engine cached %d reachability indexes, want 1 (order-insensitive key)", n)
+	}
+}

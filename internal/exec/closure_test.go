@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/histogram"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/reachability"
+)
+
+// bruteClosure computes input ∘ body* by naive iteration to fixpoint.
+func bruteClosure(input, body map[Pair]bool) map[Pair]bool {
+	total := map[Pair]bool{}
+	for pr := range input {
+		total[pr] = true
+	}
+	for {
+		added := false
+		for pr := range total {
+			for b := range body {
+				if b.Src != pr.Dst {
+					continue
+				}
+				ext := Pair{Src: pr.Src, Dst: b.Dst}
+				if !total[ext] {
+					total[ext] = true
+					added = true
+				}
+			}
+		}
+		if !added {
+			return total
+		}
+	}
+}
+
+// sliceOp serves a fixed pair slice as an Operator, for driving the
+// closure directly.
+type sliceOp struct {
+	pairs   []Pair
+	pos     int
+	rows    int
+	batches int
+}
+
+func (s *sliceOp) NextBatch(buf []Pair) int {
+	n := copy(buf, s.pairs[s.pos:])
+	s.pos += n
+	s.rows += n
+	if n > 0 {
+		s.batches++
+	}
+	return n
+}
+func (s *sliceOp) Rows() int    { return s.rows }
+func (s *sliceOp) Batches() int { return s.batches }
+func (s *sliceOp) Name() string { return "slice" }
+
+func pairsOf(m map[Pair]bool) []Pair {
+	out := make([]Pair, 0, len(m))
+	for pr := range m {
+		out = append(out, pr)
+	}
+	sortPairs(out)
+	return out
+}
+
+// TestClosureOperatorFixpoint drives the Closure operator over random
+// input and body relations and compares against the naive fixpoint, for
+// several batch sizes including 1.
+func TestClosureOperatorFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(8)
+		input := map[Pair]bool{}
+		body := map[Pair]bool{}
+		for i := 0; i < r.Intn(20); i++ {
+			input[Pair{Src: graph.NodeID(r.Intn(n)), Dst: graph.NodeID(r.Intn(n))}] = true
+		}
+		for i := 0; i < r.Intn(20); i++ {
+			body[Pair{Src: graph.NodeID(r.Intn(n)), Dst: graph.NodeID(r.Intn(n))}] = true
+		}
+		want := pairsOf(bruteClosure(input, body))
+		for _, bs := range []int{1, 3, DefaultBatchSize} {
+			op := NewClosureSized(&sliceOp{pairs: pairsOf(input)}, &sliceOp{pairs: pairsOf(body)}, bs)
+			got := RunSized(op, bs)
+			sortPairs(got)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d bs %d: got %d pairs, want %d", trial, bs, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d bs %d: pair %d = %v, want %v", trial, bs, i, got[i], want[i])
+				}
+			}
+			if op.Rows() != len(want) {
+				t.Errorf("trial %d bs %d: Rows() = %d, want %d", trial, bs, op.Rows(), len(want))
+			}
+		}
+	}
+}
+
+// TestClosureOperatorChain checks the canonical a* shape: identity input
+// closed over a chain relation, including the iteration counter.
+func TestClosureOperatorChain(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		g.AddEdge(fmt.Sprintf("n%d", i), "a", fmt.Sprintf("n%d", i+1))
+	}
+	g.Freeze()
+	ix := buildIndex(t, g, 2)
+	a := pathindex.Path{graph.Fwd(mustLabel(t, g, "a"))}
+
+	op := NewClosure(NewIdentityScan(g), NewIndexScan(ix, a, false))
+	got := Run(op)
+	// 6 chain nodes: all (i,j) with i <= j, i.e. 6·7/2 = 21 pairs.
+	if len(got) != 21 {
+		t.Fatalf("chain a* closure: got %d pairs, want 21", len(got))
+	}
+	if op.Iterations() < 5 {
+		t.Errorf("chain closure took %d iterations; want >= 5 (frontier advances one hop per round)", op.Iterations())
+	}
+}
+
+func mustLabel(t *testing.T, g *graph.Graph, name string) graph.LabelID {
+	t.Helper()
+	l, ok := g.LookupLabel(name)
+	if !ok {
+		t.Fatalf("label %q missing", name)
+	}
+	return l
+}
+
+// TestBuildClosurePlan runs a full plan containing a Closure node
+// through exec.Build and compares with brute force.
+func TestBuildClosurePlan(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := randomGraph(r, 12, 20, 2)
+	ix := buildIndex(t, g, 2)
+	hist := histogram.BuildExact(ix)
+	pl := &plan.Planner{K: 2, Hist: hist, NumNodes: g.NumNodes(), NoReachIndex: true}
+
+	a := pathindex.Path{graph.Fwd(mustLabel(t, g, "a"))}
+	b := pathindex.Path{graph.Fwd(mustLabel(t, g, "b"))}
+
+	// a/b* : seg a followed by closure of b.
+	seq := plan.Seq{Elems: []plan.SeqElem{
+		{Seg: a},
+		{Star: []plan.Seq{{Elems: []plan.SeqElem{{Seg: b}}}}},
+	}}
+	p, err := pl.PlanQuery(nil, []plan.Seq{seq}, false, plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Build(p, ix, BuildOptions{PerJoinDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Run(op)
+	sortPairs(got)
+
+	want := pairsOf(bruteClosure(bruteCompose(g, a), bruteCompose(g, b)))
+	if len(got) != len(want) {
+		t.Fatalf("a/b*: got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("a/b*: pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// reachProvider adapts a prebuilt index for BuildOptions.Reach.
+type reachProvider struct{ g *graph.Graph }
+
+func (p reachProvider) ReachIndex(labels []graph.DirLabel) (*reachability.Index, error) {
+	return reachability.Build(p.g, labels)
+}
+
+// TestBuildReachPlan runs a Reach plan node through exec.Build and
+// compares with reachability.Index.Pairs.
+func TestBuildReachPlan(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g := randomGraph(r, 15, 25, 2)
+	ix := buildIndex(t, g, 2)
+	hist := histogram.BuildExact(ix)
+	pl := &plan.Planner{K: 2, Hist: hist, NumNodes: g.NumNodes()}
+
+	a := graph.Fwd(mustLabel(t, g, "a"))
+	b := graph.Inv(mustLabel(t, g, "b"))
+	seq := plan.Seq{Elems: []plan.SeqElem{{Star: []plan.Seq{
+		{Elems: []plan.SeqElem{{Seg: pathindex.Path{a}}}},
+		{Elems: []plan.SeqElem{{Seg: pathindex.Path{b}}}},
+	}}}}
+	p, err := pl.PlanQuery(nil, []plan.Seq{seq}, false, plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Disjuncts[0].(*plan.Reach); !ok {
+		t.Fatalf("restricted star planned as %T, want *plan.Reach", p.Disjuncts[0])
+	}
+
+	// Without a provider, Build must fail cleanly.
+	if _, err := Build(p, ix, BuildOptions{}); err == nil {
+		t.Fatal("Build without a ReachProvider should fail on Reach nodes")
+	}
+
+	op, err := Build(p, ix, BuildOptions{Reach: reachProvider{g}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Run(op)
+	sortPairs(got)
+
+	rix, err := reachability.Build(g, []graph.DirLabel{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rix.Pairs()
+	if len(got) != len(want) {
+		t.Fatalf("reach scan: got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reach scan: pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -83,6 +83,10 @@ type BuildOptions struct {
 	// from their children; 0 uses DefaultBatchSize. Exposed for the
 	// batch-size micro-benchmarks.
 	BatchSize int
+	// Reach supplies reachability indexes for Reach plan nodes (the
+	// restricted-closure fast path). Required when the plan contains
+	// them; plans without closures never consult it.
+	Reach ReachProvider
 }
 
 func (o BuildOptions) batchSize() int {
@@ -135,6 +139,33 @@ func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, 
 			join = NewDistinctSized(join, opts.batchSize())
 		}
 		return join, nil
+	case *plan.Closure:
+		input := Operator(NewIdentityScan(ix.Graph()))
+		if v.Input != nil {
+			in, err := buildNode(v.Input, ix, opts)
+			if err != nil {
+				return nil, err
+			}
+			input = in
+		}
+		body := make([]Operator, len(v.Body))
+		for i, b := range v.Body {
+			op, err := buildNode(b, ix, opts)
+			if err != nil {
+				return nil, err
+			}
+			body[i] = op
+		}
+		return buildClosure(input, body, opts.batchSize()), nil
+	case *plan.Reach:
+		if opts.Reach == nil {
+			return nil, errNoReachProvider
+		}
+		rix, err := opts.Reach.ReachIndex(v.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("exec: building reachability index: %w", err)
+		}
+		return NewReachScan(rix), nil
 	default:
 		return nil, fmt.Errorf("exec: unknown plan node %T", n)
 	}

@@ -169,6 +169,10 @@ type Planner struct {
 	NumNodes int
 	// HashOnly disables merge joins (ablation Ext-3b).
 	HashOnly bool
+	// NoReachIndex disables the reachability-index fast path for
+	// restricted closures (ℓ1|…|ℓm)*, forcing the general fixpoint
+	// Closure operator (ablation and differential testing).
+	NoReachIndex bool
 }
 
 // Cost-model constants: a hash join pays hashBuildFactor per build-side
@@ -188,25 +192,33 @@ func (pl *Planner) PlanPaths(disjuncts []pathindex.Path, hasEpsilon bool, strate
 	}
 	p := &Plan{Strategy: strategy, K: pl.K, HasEpsilon: hasEpsilon}
 	for _, d := range disjuncts {
-		if len(d) == 0 {
-			return nil, fmt.Errorf("plan: empty disjunct (represent ε via hasEpsilon)")
-		}
-		var node Node
-		switch strategy {
-		case Naive:
-			node = pl.chain(d, 1)
-		case SemiNaive:
-			node = pl.chain(d, pl.K)
-		case MinSupport:
-			node = pl.minSupport(d)
-		case MinJoin:
-			node = pl.minJoin(d)
-		default:
-			return nil, fmt.Errorf("plan: unknown strategy %v", strategy)
+		node, err := pl.planPath(d, strategy)
+		if err != nil {
+			return nil, err
 		}
 		p.Disjuncts = append(p.Disjuncts, node)
 	}
 	return p, nil
+}
+
+// planPath generates the subplan of one label-path disjunct under the
+// strategy.
+func (pl *Planner) planPath(d pathindex.Path, strategy Strategy) (Node, error) {
+	if len(d) == 0 {
+		return nil, fmt.Errorf("plan: empty disjunct (represent ε via hasEpsilon)")
+	}
+	switch strategy {
+	case Naive:
+		return pl.chain(d, 1), nil
+	case SemiNaive:
+		return pl.chain(d, pl.K), nil
+	case MinSupport:
+		return pl.minSupport(d), nil
+	case MinJoin:
+		return pl.minJoin(d), nil
+	default:
+		return nil, fmt.Errorf("plan: unknown strategy %v", strategy)
+	}
 }
 
 // scan builds a Scan node for a segment.
@@ -452,6 +464,19 @@ func (pl *Planner) cloneTree(n Node) Node {
 		c.Left = pl.cloneTree(v.Left)
 		c.Right = pl.cloneTree(v.Right)
 		return &c
+	case *Closure:
+		c := *v
+		if v.Input != nil {
+			c.Input = pl.cloneTree(v.Input)
+		}
+		c.Body = make([]Node, len(v.Body))
+		for i, b := range v.Body {
+			c.Body[i] = pl.cloneTree(b)
+		}
+		return &c
+	case *Reach:
+		c := *v
+		return &c
 	default:
 		return n
 	}
@@ -496,6 +521,27 @@ func formatNode(b *strings.Builder, n Node, g *graph.Graph, prefix, indent strin
 		fmt.Fprintf(b, "%s%s-join%s (est card %.1f, cost %.1f)\n", prefix, v.Algo, side, v.Card(), v.Cost())
 		formatNode(b, v.Left, g, indent+"├─ ", indent+"│  ")
 		formatNode(b, v.Right, g, indent+"└─ ", indent+"   ")
+	case *Closure:
+		fmt.Fprintf(b, "%sclosure [fixpoint] (est card %.1f, cost %.1f)\n", prefix, v.Card(), v.Cost())
+		if v.Input == nil {
+			fmt.Fprintf(b, "%s├─ input: identity (ε)\n", indent)
+		} else {
+			formatNode(b, v.Input, g, indent+"├─ input: ", indent+"│  ")
+		}
+		for i, c := range v.Body {
+			childPrefix, childIndent := indent+"├─ body: ", indent+"│  "
+			if i == len(v.Body)-1 {
+				childPrefix, childIndent = indent+"└─ body: ", indent+"   "
+			}
+			formatNode(b, c, g, childPrefix, childIndent)
+		}
+	case *Reach:
+		parts := make([]string, len(v.Labels))
+		for i, l := range v.Labels {
+			parts[i] = g.DirLabelName(l)
+		}
+		fmt.Fprintf(b, "%sreach-scan (%s)* [reachability index] (est %.1f)\n",
+			prefix, strings.Join(parts, "|"), v.Card())
 	default:
 		fmt.Fprintf(b, "%s<unknown node %T>\n", prefix, n)
 	}

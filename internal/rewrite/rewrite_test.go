@@ -139,21 +139,22 @@ func TestPathInverse(t *testing.T) {
 	}
 }
 
-func TestStarBound(t *testing.T) {
-	// Without a star bound, unbounded repetition is rejected.
-	if _, err := Normalize(rpq.MustParse("a*"), Options{}); err == nil {
-		t.Error("a* without StarBound should fail")
+func TestStarBoundLegacyExpansion(t *testing.T) {
+	// The legacy mode (ExpandStars) rejects unbounded repetition without
+	// a star bound.
+	if _, err := Normalize(rpq.MustParse("a*"), Options{ExpandStars: true}); err == nil {
+		t.Error("a* with ExpandStars but no StarBound should fail")
 	}
 	// With bound 3: ε, a, aa, aaa.
-	n, err := Normalize(rpq.MustParse("a*"), Options{StarBound: 3})
+	n, err := Normalize(rpq.MustParse("a*"), Options{ExpandStars: true, StarBound: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !n.HasEpsilon || len(n.Paths) != 3 {
+	if !n.HasEpsilon || len(n.Paths) != 3 || len(n.Closures) != 0 {
 		t.Errorf("a* bound 3: %v (eps=%v)", pathStrings(n), n.HasEpsilon)
 	}
 	// a+ excludes ε.
-	n, err = Normalize(rpq.MustParse("a+"), Options{StarBound: 3})
+	n, err = Normalize(rpq.MustParse("a+"), Options{ExpandStars: true, StarBound: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +162,135 @@ func TestStarBound(t *testing.T) {
 		t.Errorf("a+ bound 3: %v (eps=%v)", pathStrings(n), n.HasEpsilon)
 	}
 	// a{2,} with bound smaller than min still produces at least a^min.
-	n, err = Normalize(rpq.MustParse("a{2,}"), Options{StarBound: 1})
+	n, err = Normalize(rpq.MustParse("a{2,}"), Options{ExpandStars: true, StarBound: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(n.Paths) != 1 || n.Paths[0].String() != "a/a" {
 		t.Errorf("a{2,} bound 1: %v", pathStrings(n))
+	}
+}
+
+func closureStrings(n Normal) []string {
+	out := make([]string, len(n.Closures))
+	for i, s := range n.Closures {
+		out[i] = s.String()
+	}
+	return out
+}
+
+func TestStarFactoring(t *testing.T) {
+	cases := []struct {
+		query    string
+		closures []string
+		paths    []string
+		epsilon  bool
+	}{
+		// A bare star becomes one closure factor; no ε disjunct is
+		// needed because a closure's relation contains the identity.
+		{"a*", []string{"(a)*"}, nil, false},
+		{"(a|b)*", []string{"(a|b)*"}, nil, false},
+		{"(a/b)*", []string{"(a/b)*"}, nil, false},
+		// R+ = R ∘ R*.
+		{"a+", []string{"a/(a)*"}, nil, false},
+		{"a{2,}", []string{"a/a/(a)*"}, nil, false},
+		// Closures inside compositions keep their flanks.
+		{"a/(b|c)*/d", []string{"a/(b|c)*/d"}, nil, false},
+		// Multiple stars in one disjunct.
+		{"a*/b*", []string{"(a)*/(b)*"}, nil, false},
+		// Adjacent identical stars collapse: a*/a* = a*.
+		{"a*/a*", []string{"(a)*"}, nil, false},
+		// Nested stars flatten: (a*)* = a*, (a|b*)* = (a|b)*.
+		{"(a*)*", []string{"(a)*"}, nil, false},
+		{"(a|b*)*", []string{"(a|b)*"}, nil, false},
+		// (R|ε)* = R*.
+		{"(a?)*", []string{"(a)*"}, nil, false},
+		// ε-only stars are the identity.
+		{"()*", nil, nil, true},
+		// Non-flattenable nested stars stay nested.
+		{"(a/b*)*", []string{"(a/(b)*)*"}, nil, false},
+		// Mixed unions keep plain paths alongside closures.
+		{"c|a*", []string{"(a)*"}, []string{"c"}, false},
+		// Bounded repetition over closures expands over sequences.
+		{"(a*/b){2}", []string{"(a)*/b/(a)*/b"}, nil, false},
+	}
+	for _, tc := range cases {
+		n := norm(t, tc.query, Options{})
+		if got := strings.Join(closureStrings(n), ";"); got != strings.Join(tc.closures, ";") {
+			t.Errorf("%s closures = %v, want %v", tc.query, closureStrings(n), tc.closures)
+		}
+		if got := strings.Join(pathStrings(n), ";"); got != strings.Join(tc.paths, ";") {
+			t.Errorf("%s paths = %v, want %v", tc.query, pathStrings(n), tc.paths)
+		}
+		if n.HasEpsilon != tc.epsilon {
+			t.Errorf("%s epsilon = %v, want %v", tc.query, n.HasEpsilon, tc.epsilon)
+		}
+	}
+}
+
+func TestStarCanonicalKeys(t *testing.T) {
+	equal := [][2]string{
+		{"a*", "(a)*"},
+		{"a*", "(a*)*"},
+		{"a*/a*", "a*"},
+		{"(a|b)*", "(b|a)*"},
+		{"(a|b*)*", "(a|b)*"},
+		{"a+", "a/a*"},
+	}
+	for _, pair := range equal {
+		k0 := norm(t, pair[0], Options{}).CanonicalKey()
+		k1 := norm(t, pair[1], Options{}).CanonicalKey()
+		if k0 != k1 {
+			t.Errorf("CanonicalKey(%q) = %q, CanonicalKey(%q) = %q; want equal",
+				pair[0], k0, pair[1], k1)
+		}
+	}
+	distinct := [][2]string{
+		{"a*", "b*"},
+		{"a*", "a+"},
+		{"a*", "a"},
+		{"(a/b)*", "(a|b)*"},
+	}
+	for _, pair := range distinct {
+		k0 := norm(t, pair[0], Options{}).CanonicalKey()
+		k1 := norm(t, pair[1], Options{}).CanonicalKey()
+		if k0 == k1 {
+			t.Errorf("CanonicalKey(%q) == CanonicalKey(%q) == %q; want distinct",
+				pair[0], pair[1], k0)
+		}
+	}
+	// Star keys are themselves query syntax with the same normal form.
+	for _, q := range []string{"a*", "(a|b^-)*", "a/(b|c)*/d", "(a/b*)*", "c|a*"} {
+		key := norm(t, q, Options{}).CanonicalKey()
+		again := norm(t, key, Options{}).CanonicalKey()
+		if key != again {
+			t.Errorf("CanonicalKey not a fixed point: %q -> %q -> %q", q, key, again)
+		}
+	}
+}
+
+func TestLimitErrorContext(t *testing.T) {
+	_, err := Normalize(rpq.MustParse("x/(a|b){12}"), Options{MaxDisjuncts: 100})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want LimitError, got %v", err)
+	}
+	if le.Option != "MaxDisjuncts" {
+		t.Errorf("Option = %q, want MaxDisjuncts", le.Option)
+	}
+	if le.Frag != "(a|b){12}" {
+		t.Errorf("Frag = %q, want the offending repetition", le.Frag)
+	}
+	if msg := le.Error(); !strings.Contains(msg, "(a|b){12}") || !strings.Contains(msg, "MaxDisjuncts") {
+		t.Errorf("error text lacks context: %q", msg)
+	}
+
+	_, err = Normalize(rpq.MustParse("a{64}"), Options{MaxPathLength: 10})
+	if !errors.As(err, &le) {
+		t.Fatalf("want LimitError, got %v", err)
+	}
+	if le.Option != "MaxPathLength" || le.Frag != "a{64}" {
+		t.Errorf("path-length limit context = (%q, %q)", le.Frag, le.Option)
 	}
 }
 

@@ -12,9 +12,13 @@ type GenOptions struct {
 	// MaxFanout bounds the arity of concat/union nodes (minimum 2).
 	MaxFanout int
 	// MaxRepeatBound bounds repetition upper limits; repetitions are
-	// always bounded so every generated query is evaluable by all
+	// bounded by default so every generated query is evaluable by all
 	// engines.
 	MaxRepeatBound int
+	// AllowUnbounded permits unbounded repetitions (Max = Unbounded,
+	// i.e. Kleene shapes R*, R+, R{i,}) with probability 1/3 per
+	// repetition node. Used by the closure differential tests.
+	AllowUnbounded bool
 	// AllowEpsilon permits ε atoms.
 	AllowEpsilon bool
 	// AllowInverse permits inverted steps.
@@ -73,6 +77,9 @@ func gen(r *rand.Rand, opts GenOptions, depth int) Expr {
 		return Union{Alts: alts}
 	default:
 		min := r.Intn(opts.MaxRepeatBound + 1)
+		if opts.AllowUnbounded && r.Intn(3) == 0 {
+			return Repeat{Sub: gen(r, opts, depth-1), Min: min, Max: Unbounded}
+		}
 		max := min + r.Intn(opts.MaxRepeatBound-min+1)
 		if max == 0 {
 			max = 1 // avoid the degenerate R{0,0}

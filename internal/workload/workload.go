@@ -1,14 +1,17 @@
 // Package workload defines the query workloads of the experiments. The
-// central one is the eight-query Advogato workload behind Figure 2 of
-// Fletcher, Peters & Poulovassilis (EDBT 2016).
+// central one is the Advogato workload behind Figure 2 of Fletcher,
+// Peters & Poulovassilis (EDBT 2016).
 //
-// The paper does not list the eight queries (they appear only in the
+// The paper does not list its eight queries (they appear only in the
 // companion MSc thesis), so Q1–Q8 here are representatives of the query
 // classes the paper's discussion covers: compositions of increasing
 // length, unions, inverse steps, and bounded recursions — including the
-// paper's own worked-example shape R = ℓ ◦ (ℓ ◦ ℓ')^{2,4} ◦ ℓ'. The
-// workload exercises every rewrite and planning path; DESIGN.md records
-// the substitution.
+// paper's own worked-example shape R = ℓ ◦ (ℓ ◦ ℓ')^{2,4} ◦ ℓ'. Q9 and
+// Q10 extend the workload with Kleene-closure classes (a restricted
+// star answered by the reachability fast path, and a closure inside a
+// composition evaluated by fixpoint), so the serving mix exercises the
+// closure operators too. The workload exercises every rewrite and
+// planning path; DESIGN.md records the substitution.
 package workload
 
 import (
@@ -27,8 +30,11 @@ type Query struct {
 	Class string
 }
 
-// Advogato returns the eight-query workload over the Advogato trust
-// labels (apprentice, journeyer, master).
+// Advogato returns the ten-query workload over the Advogato trust
+// labels (apprentice, journeyer, master): the eight query classes of
+// the paper's discussion plus two Kleene-closure classes (Q9, Q10) that
+// exercise the restricted reachability fast path and the general
+// fixpoint closure operator.
 func Advogato() []Query {
 	qs := []struct{ name, class, text string }{
 		{"Q1", "short composition", "master/journeyer"},
@@ -39,6 +45,8 @@ func Advogato() []Query {
 		{"Q6", "bounded recursion", "(master|journeyer){1,3}"},
 		{"Q7", "worked example shape", "master/(apprentice/master){2,3}/journeyer"},
 		{"Q8", "mixed", "(master|journeyer^-)/apprentice{1,2}/(master/journeyer|apprentice)"},
+		{"Q9", "restricted closure", "(master|journeyer)*"},
+		{"Q10", "closure in composition", "master/(apprentice)*"},
 	}
 	out := make([]Query, len(qs))
 	for i, q := range qs {

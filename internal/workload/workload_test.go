@@ -9,8 +9,8 @@ import (
 
 func TestAdvogatoWorkloadShape(t *testing.T) {
 	qs := Advogato()
-	if len(qs) != 8 {
-		t.Fatalf("workload has %d queries, want 8", len(qs))
+	if len(qs) != 10 {
+		t.Fatalf("workload has %d queries, want 10", len(qs))
 	}
 	names := map[string]bool{}
 	for _, q := range qs {
@@ -40,9 +40,10 @@ func TestAdvogatoWorkloadShape(t *testing.T) {
 }
 
 func TestWorkloadCoversClasses(t *testing.T) {
-	// At least one query with a union, one with an inverse, and one with
-	// bounded recursion — the classes the paper discusses.
-	var hasUnion, hasInverse, hasRecursion bool
+	// At least one query with a union, one with an inverse, one with
+	// bounded recursion — the classes the paper discusses — and one
+	// Kleene closure, so the serving mix exercises the closure operators.
+	var hasUnion, hasInverse, hasRecursion, hasClosure bool
 	for _, q := range Advogato() {
 		var walk func(e rpq.Expr)
 		walk = func(e rpq.Expr) {
@@ -58,6 +59,9 @@ func TestWorkloadCoversClasses(t *testing.T) {
 				}
 			case rpq.Repeat:
 				hasRecursion = true
+				if v.Max == rpq.Unbounded {
+					hasClosure = true
+				}
 				walk(v.Sub)
 			case rpq.Step:
 				if v.Inverse {
@@ -67,9 +71,9 @@ func TestWorkloadCoversClasses(t *testing.T) {
 		}
 		walk(q.Expr)
 	}
-	if !hasUnion || !hasInverse || !hasRecursion {
-		t.Errorf("workload classes missing: union=%v inverse=%v recursion=%v",
-			hasUnion, hasInverse, hasRecursion)
+	if !hasUnion || !hasInverse || !hasRecursion || !hasClosure {
+		t.Errorf("workload classes missing: union=%v inverse=%v recursion=%v closure=%v",
+			hasUnion, hasInverse, hasRecursion, hasClosure)
 	}
 }
 

@@ -16,9 +16,12 @@
 // Queries are regular expressions over edge labels: `knows/worksFor^-`
 // composes a forward step with an inverse step; `a|b` is disjunction;
 // `(knows/worksFor){2,4}` is bounded recursion; `knows*` is Kleene
-// closure (bounded internally by the node count). Answers follow the
-// standard RPQ semantics: the set of node pairs connected by a path
-// whose label sequence is in the expression's language.
+// closure, evaluated natively by semi-naive fixpoint iteration — or, for
+// the restricted shape `(l1|...|lm)*`, by a cached reachability index —
+// rather than by expansion, so closures over cyclic graphs terminate
+// and stay fast. Answers follow the standard RPQ semantics: the set of
+// node pairs connected by a path whose label sequence is in the
+// expression's language.
 //
 // Four evaluation strategies from the paper are available; the default,
 // StrategyMinSupport, uses an equi-depth selectivity histogram to place
@@ -87,8 +90,14 @@ type Options struct {
 	// HistogramBuckets is the equi-depth histogram resolution used for
 	// selectivity estimation; 0 keeps exact per-path counts.
 	HistogramBuckets int
-	// StarBound bounds unbounded repetitions; 0 uses the node count.
+	// StarBound bounds unbounded repetitions when ExpandStars is set;
+	// 0 uses the node count. Unused in the default closure mode.
 	StarBound int
+	// ExpandStars restores the legacy evaluation of unbounded
+	// repetitions by StarBound-bounded expansion instead of the native
+	// fixpoint/reachability closure operators. Kept as an ablation; the
+	// expansion is exponential on multi-label stars.
+	ExpandStars bool
 	// MaxDisjuncts and MaxPathLength bound query expansion (guards
 	// against exponential rewrites); 0 uses library defaults.
 	MaxDisjuncts  int
@@ -121,6 +130,7 @@ func Build(g *Graph, opts Options) (*DB, error) {
 		K:                opts.K,
 		HistogramBuckets: opts.HistogramBuckets,
 		StarBound:        opts.StarBound,
+		ExpandStars:      opts.ExpandStars,
 		MaxDisjuncts:     opts.MaxDisjuncts,
 		MaxPathLength:    opts.MaxPathLength,
 		MaxIndexEntries:  opts.MaxIndexEntries,
@@ -263,6 +273,7 @@ func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
 		K:                opts.K,
 		HistogramBuckets: opts.HistogramBuckets,
 		StarBound:        opts.StarBound,
+		ExpandStars:      opts.ExpandStars,
 		MaxDisjuncts:     opts.MaxDisjuncts,
 		MaxPathLength:    opts.MaxPathLength,
 	})
@@ -314,6 +325,7 @@ func BuildWithIndex(g *Graph, indexPath string, opts Options) (*DB, error) {
 		K:                ix.K(),
 		HistogramBuckets: opts.HistogramBuckets,
 		StarBound:        opts.StarBound,
+		ExpandStars:      opts.ExpandStars,
 		MaxDisjuncts:     opts.MaxDisjuncts,
 		MaxPathLength:    opts.MaxPathLength,
 	})

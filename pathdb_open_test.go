@@ -110,15 +110,17 @@ func TestOpenServesWithoutRebuild(t *testing.T) {
 }
 
 // TestOpenWithHonorsOptions reopens with the same non-default engine
-// options as the original Build and checks the answers track them (the
-// star bound changes how far `knows*` expands on the 4-cycle).
+// options as the original Build and checks the answers track them (in
+// the legacy ExpandStars mode, the star bound changes how far `knows*`
+// expands on the 4-cycle; the default closure mode computes the full
+// fixpoint).
 func TestOpenWithHonorsOptions(t *testing.T) {
 	graphPath := writeTestGraph(t)
 	g, err := pathdb.LoadGraph(graphPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := pathdb.Options{K: 2, StarBound: 1}
+	opts := pathdb.Options{K: 2, StarBound: 1, ExpandStars: true}
 	built, err := pathdb.Build(g, opts)
 	if err != nil {
 		t.Fatal(err)
