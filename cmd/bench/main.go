@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open|star]
+//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open|star|update]
 //	      [-scale 1.0] [-seed 1] [-runs 3] [-buckets 64]
 //	      [-clients 8] [-servedur 2s] [-serveout BENCH_serve.json]
 //	      [-openout BENCH_open.json] [-starout BENCH_star.json]
+//	      [-updateout BENCH_update.json]
 //
 // Full scale (-scale 1.0) matches the published Advogato dimensions and
 // takes a few minutes, dominated by the k=3 index build; -scale 0.25
@@ -32,6 +33,12 @@
 // reachability/fixpoint routing versus the legacy bounded star
 // expansion — on a 201-node chain and the Advogato star queries, and
 // writes the JSON report to -starout.
+//
+// The update experiment (also selected implicitly by passing -updateout
+// with -experiment all) measures live graph updates — ApplyBatch's
+// delta-overlay maintenance versus a from-scratch rebuild, query
+// latency over the overlay, and compaction cost — for several batch
+// sizes, and writes the JSON report to -updateout.
 package main
 
 import (
@@ -54,6 +61,7 @@ func main() {
 	serveout := flag.String("serveout", "BENCH_serve.json", "serve: JSON report output path")
 	openout := flag.String("openout", "BENCH_open.json", "open: JSON report output path")
 	starout := flag.String("starout", "BENCH_star.json", "star: JSON report output path")
+	updateout := flag.String("updateout", "BENCH_update.json", "update: JSON report output path")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -77,6 +85,7 @@ func main() {
 		wantOpen := flagPassed("openout")
 		wantServe := flagPassed("clients") || flagPassed("servedur") || flagPassed("serveout")
 		wantStar := flagPassed("starout")
+		wantUpdate := flagPassed("updateout")
 		if wantOpen {
 			die(runOpen(cfg, *openout))
 		}
@@ -86,7 +95,10 @@ func main() {
 		if wantStar {
 			die(runStar(cfg, *starout))
 		}
-		if wantOpen || wantServe || wantStar {
+		if wantUpdate {
+			die(runUpdate(cfg, *updateout))
+		}
+		if wantOpen || wantServe || wantStar || wantUpdate {
 			return
 		}
 	}
@@ -97,9 +109,23 @@ func main() {
 		die(runServe(cfg, *clients, *servedur, *serveout))
 	case "star":
 		die(runStar(cfg, *starout))
+	case "update":
+		die(runUpdate(cfg, *updateout))
 	default:
 		die(run(what, cfg))
 	}
+}
+
+func runUpdate(cfg bench.Config, out string) error {
+	_, table, err := bench.RunUpdate(cfg, out)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.String())
+	if out != "" {
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
 }
 
 func runStar(cfg bench.Config, out string) error {

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"slices"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/rpq"
+	"repro/internal/workload"
+)
+
+// The update experiment measures live graph updates end to end: the cost
+// of ApplyBatch (delta-overlay maintenance) against a from-scratch
+// rebuild for several batch sizes, the query-latency overhead of serving
+// over the overlay versus the base and the compacted index, the cost of
+// the compaction fold, and a correctness bit comparing overlay answers
+// to the rebuild oracle on the Advogato workload.
+
+// UpdatePoint is one measured holdout fraction.
+type UpdatePoint struct {
+	// Fraction of the graph's edges arriving as the update batch.
+	Fraction float64 `json:"fraction"`
+	NewEdges int     `json:"new_edges"`
+	// BaseEntries / DeltaEntries / DeltaRatio describe the overlay the
+	// batch produced.
+	BaseEntries  int     `json:"base_entries"`
+	DeltaEntries int     `json:"delta_entries"`
+	DeltaRatio   float64 `json:"delta_ratio"`
+	// ApplyMillis is the ApplyBatch cost (delta build + overlay +
+	// histogram); RebuildMillis is the from-scratch engine build over
+	// the full graph; SpeedupVsRebuild is their quotient.
+	ApplyMillis      float64 `json:"apply_ms"`
+	RebuildMillis    float64 `json:"rebuild_ms"`
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
+	// Query latency (summed over the Q1–Q8 workload, median of runs)
+	// before the update, over the delta overlay, and after compaction.
+	QueryBaseMillis      float64 `json:"query_base_ms"`
+	QueryOverlayMillis   float64 `json:"query_overlay_ms"`
+	QueryCompactedMillis float64 `json:"query_compacted_ms"`
+	// CompactMillis is the overlay→index fold.
+	CompactMillis float64 `json:"compact_ms"`
+	// OracleMatch reports that every workload query answered identically
+	// over the overlay, the compacted index, and the rebuild oracle.
+	OracleMatch bool `json:"oracle_match"`
+}
+
+// UpdateReport is serialized to BENCH_update.json by cmd/bench.
+type UpdateReport struct {
+	GoVersion string        `json:"go_version"`
+	CPUs      int           `json:"cpus"`
+	Runs      int           `json:"runs"`
+	K         int           `json:"k"`
+	Scale     float64       `json:"scale"`
+	Nodes     int           `json:"nodes"`
+	Edges     int           `json:"edges"`
+	Points    []UpdatePoint `json:"points"`
+	Note      string        `json:"note"`
+}
+
+// updateQueries is the latency/correctness workload: the composition
+// classes Q1–Q8 (closure classes are measured by the star experiment).
+func updateQueries() []rpq.Expr {
+	var out []rpq.Expr
+	for _, q := range workload.Advogato() {
+		if q.Name == "Q9" || q.Name == "Q10" {
+			continue
+		}
+		out = append(out, rpq.MustParse(q.Text))
+	}
+	return out
+}
+
+// cloneInterning returns an empty graph whose node and label interning
+// matches g (IDs align), so result pairs compare across engines.
+func cloneInterning(g *graph.Graph) *graph.Graph {
+	ng := graph.New()
+	for n := 0; n < g.NumNodes(); n++ {
+		ng.Node(g.NodeName(graph.NodeID(n)))
+	}
+	for _, name := range g.Labels() {
+		ng.Label(name)
+	}
+	return ng
+}
+
+// splitAdvogato deals the scaled Advogato edges into a frozen base graph
+// and a holdout batch of about fraction of the edges.
+func splitAdvogato(g *graph.Graph, seed int64, fraction float64) (*graph.Graph, []graph.LabeledEdge) {
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	base := cloneInterning(g)
+	var batch []graph.LabeledEdge
+	for l := 0; l < g.NumLabels(); l++ {
+		name := g.LabelName(graph.LabelID(l))
+		for _, e := range g.Edges(graph.LabelID(l)) {
+			if r.Float64() < fraction {
+				batch = append(batch, graph.LabeledEdge{
+					Src: g.NodeName(e.Src), Label: name, Dst: g.NodeName(e.Dst),
+				})
+			} else {
+				base.AddEdgeID(e.Src, graph.LabelID(l), e.Dst)
+			}
+		}
+	}
+	base.Freeze()
+	return base, batch
+}
+
+// workloadLatency evaluates every query once and returns the summed
+// wall time in ms; timeIt medians it over runs.
+func workloadLatency(runs int, e *core.Engine, queries []rpq.Expr) (float64, error) {
+	d, err := timeIt(runs, func() error {
+		for _, q := range queries {
+			if _, err := e.Eval(q, plan.MinSupport); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return ms2(d), err
+}
+
+// sortedResult returns the pairs sorted for set comparison.
+func sortedResult(res *core.Result) []uint64 {
+	out := make([]uint64, len(res.Pairs))
+	for i, p := range res.Pairs {
+		out[i] = uint64(p.Src)<<32 | uint64(p.Dst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RunUpdate measures the update path on the scaled Advogato stand-in at
+// k = max(cfg.Ks) and writes the JSON report to out (when non-empty).
+func RunUpdate(cfg Config, out string) (*UpdateReport, *Table, error) {
+	cfg = cfg.normalize()
+	k := cfg.Ks[len(cfg.Ks)-1]
+	full := cfg.advogato()
+	report := &UpdateReport{
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Runs:      cfg.Runs,
+		K:         k,
+		Scale:     cfg.Scale,
+		Nodes:     full.NumNodes(),
+		Edges:     full.NumEdges(),
+		Note: "apply_ms is ApplyBatch (delta build + overlay + histogram); rebuild_ms is a from-scratch " +
+			"engine build over the full graph; query_*_ms is the summed Q1-Q8 workload latency; " +
+			"oracle_match compares overlay and compacted answers to the rebuild",
+	}
+	queries := updateQueries()
+
+	// The rebuild baseline and oracle: one engine over the full graph.
+	var oracle *core.Engine
+	rebuild, err := timeIt(cfg.Runs, func() error {
+		e, err := core.NewEngine(full, core.Options{K: k, HistogramBuckets: cfg.HistogramBuckets})
+		oracle = e
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("Live updates: delta overlay vs rebuild (k=%d, %d nodes, %d edges, ms)",
+			k, full.NumNodes(), full.NumEdges()),
+		Header: []string{"fraction", "new edges", "delta/base", "apply", "rebuild", "speedup", "q base", "q overlay", "q compacted", "compact", "oracle"},
+	}
+	for _, fraction := range []float64{0.001, 0.01, 0.05} {
+		base, batch := splitAdvogato(full, cfg.Seed, fraction)
+		baseEng, err := core.NewEngine(base, core.Options{K: k, HistogramBuckets: cfg.HistogramBuckets})
+		if err != nil {
+			return nil, nil, err
+		}
+		pt := UpdatePoint{Fraction: fraction, NewEdges: len(batch), RebuildMillis: ms2(rebuild)}
+
+		var updated *core.Engine
+		applyD, err := timeIt(cfg.Runs, func() error {
+			e, err := baseEng.ApplyBatch(batch)
+			updated = e
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		pt.ApplyMillis = ms2(applyD)
+		if pt.ApplyMillis > 0 {
+			pt.SpeedupVsRebuild = pt.RebuildMillis / pt.ApplyMillis
+		}
+		ust := updated.Storage().Stats()
+		pt.BaseEntries = baseEng.Storage().NumEntries()
+		pt.DeltaEntries = ust.Entries - pt.BaseEntries
+		if pt.BaseEntries > 0 {
+			pt.DeltaRatio = float64(pt.DeltaEntries) / float64(pt.BaseEntries)
+		}
+
+		if pt.QueryBaseMillis, err = workloadLatency(cfg.Runs, baseEng, queries); err != nil {
+			return nil, nil, err
+		}
+		if pt.QueryOverlayMillis, err = workloadLatency(cfg.Runs, updated, queries); err != nil {
+			return nil, nil, err
+		}
+		var compacted *core.Engine
+		compactD, err := timeIt(cfg.Runs, func() error {
+			e, err := updated.Compact()
+			compacted = e
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		pt.CompactMillis = ms2(compactD)
+		if pt.QueryCompactedMillis, err = workloadLatency(cfg.Runs, compacted, queries); err != nil {
+			return nil, nil, err
+		}
+
+		pt.OracleMatch = true
+		for _, q := range queries {
+			want, err := oracle.Eval(q, plan.MinSupport)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, e := range []*core.Engine{updated, compacted} {
+				got, err := e.Eval(q, plan.MinSupport)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !slices.Equal(sortedResult(got), sortedResult(want)) {
+					pt.OracleMatch = false
+				}
+			}
+		}
+		report.Points = append(report.Points, pt)
+		tab.AddRow(fmt.Sprintf("%.3f", fraction), fmt.Sprintf("%d", pt.NewEdges),
+			fmt.Sprintf("%.4f", pt.DeltaRatio),
+			fmt.Sprintf("%.2f", pt.ApplyMillis), fmt.Sprintf("%.2f", pt.RebuildMillis),
+			fmt.Sprintf("%.1fx", pt.SpeedupVsRebuild),
+			fmt.Sprintf("%.2f", pt.QueryBaseMillis), fmt.Sprintf("%.2f", pt.QueryOverlayMillis),
+			fmt.Sprintf("%.2f", pt.QueryCompactedMillis), fmt.Sprintf("%.2f", pt.CompactMillis),
+			fmt.Sprintf("%v", pt.OracleMatch))
+	}
+	tab.Notes = append(tab.Notes,
+		"apply builds the delta off-line and publishes it with an atomic snapshot swap; queries never block",
+		"overlay scans merge base+delta runs at scan time; compaction folds them back into one run per path")
+
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return nil, nil, err
+		}
+	}
+	return report, tab, nil
+}

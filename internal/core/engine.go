@@ -29,6 +29,14 @@
 // sharing a single Prepared across goroutines (each Execute call gets a
 // fresh operator tree). Engine.Serve adds a plan cache on top for
 // serving repeated queries cheaply.
+//
+// Immutability does not mean the data is static: updates are
+// functional. Engine.ApplyBatch returns a successor engine (epoch+1)
+// over the extended graph and a delta overlay of the same base index,
+// and Engine.Compact folds an accumulated overlay into a fresh index;
+// the serving layer publishes successors with an atomic pointer swap
+// (see EngineSource) while in-flight evaluations finish on the
+// snapshot they started with.
 package core
 
 import (
@@ -69,10 +77,13 @@ type Options struct {
 	// restricted closures (ℓ1|…|ℓm)*, forcing the general fixpoint
 	// operator (ablation).
 	NoReachIndex bool
-	// MaxDisjuncts and MaxPathLength bound query expansion; 0 uses the
-	// rewrite package defaults.
+	// MaxDisjuncts, MaxPathLength, and MaxTotalSteps bound query
+	// expansion; 0 uses the rewrite package defaults. MaxTotalSteps caps
+	// the summed size of all expanded disjuncts, which is what actually
+	// bounds the legacy ExpandStars operator trees.
 	MaxDisjuncts  int
 	MaxPathLength int
+	MaxTotalSteps int
 	// MaxIndexEntries aborts index construction beyond this size; 0
 	// means unlimited.
 	MaxIndexEntries int
@@ -104,6 +115,12 @@ type Engine struct {
 	ix   pathindex.Storage
 	hist *histogram.Histogram
 	opts Options
+
+	// epoch numbers the engine within a lineage of update snapshots:
+	// ApplyBatch and Compact return successors with epoch+1, and the
+	// serving layer uses the number to lazily invalidate cached plans
+	// compiled against older snapshots. A standalone engine is epoch 0.
+	epoch uint64
 
 	// reach caches reachability indexes per direction-qualified label
 	// set, built lazily the first time a restricted closure over that
@@ -191,6 +208,26 @@ func (e *Engine) Histogram() *histogram.Histogram { return e.hist }
 // K returns the index locality parameter.
 func (e *Engine) K() int { return e.opts.K }
 
+// Epoch returns the engine's update-snapshot number (0 for an engine
+// that has never been updated).
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// pin registers the caller as a reader of the engine's index storage for
+// the duration of one evaluation, when the storage manages its lifetime
+// (a memory-mapped index, or an overlay over one). It returns the paired
+// release func, or pathindex.ErrClosed once the storage has been closed —
+// which is how a query racing DB.Close fails deterministically instead
+// of faulting on unmapped pages. Heap-backed storage pins for free.
+func (e *Engine) pin() (func(), error) {
+	if p, ok := e.ix.(pathindex.Pinner); ok {
+		if err := p.Pin(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		return p.Unpin, nil
+	}
+	return func() {}, nil
+}
+
 // Stats describes one query evaluation.
 type Stats struct {
 	Disjuncts       int           // label-path disjuncts after rewriting
@@ -250,6 +287,7 @@ func (e *Engine) rewriteOptions() rewrite.Options {
 		ExpandStars:   e.opts.ExpandStars,
 		MaxDisjuncts:  e.opts.MaxDisjuncts,
 		MaxPathLength: e.opts.MaxPathLength,
+		MaxTotalSteps: e.opts.MaxTotalSteps,
 	}
 }
 
@@ -391,6 +429,11 @@ func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st S
 // Plan returns the physical plan.
 func (p *Prepared) Plan() *plan.Plan { return p.plan }
 
+// Engine returns the engine snapshot the query was compiled against;
+// executions run over exactly this snapshot even if a Server has since
+// swapped in a newer epoch.
+func (p *Prepared) Engine() *Engine { return p.engine }
+
 // Explain renders the physical plan as text.
 func (p *Prepared) Explain() string { return p.plan.Format(p.engine.g) }
 
@@ -398,6 +441,11 @@ func (p *Prepared) Explain() string { return p.plan.Format(p.engine.g) }
 // statistics. Each call builds a fresh operator tree, so Execute may be
 // called repeatedly (e.g. by benchmarks).
 func (p *Prepared) Execute() (*Result, error) {
+	unpin, err := p.engine.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
 	t0 := time.Now()
 	op, err := exec.Build(p.plan, p.engine.ix, exec.BuildOptions{
 		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,

@@ -26,6 +26,11 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 	if int(src) >= e.g.NumNodes() {
 		return nil, fmt.Errorf("core: source node %d out of range", src)
 	}
+	unpin, err := e.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
 	norm, err := rewrite.Normalize(expr, e.rewriteOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: rewriting query: %w", err)

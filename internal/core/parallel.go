@@ -21,6 +21,11 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 	if workers < 2 || len(p.plan.Disjuncts) < 2 {
 		return p.Execute()
 	}
+	unpin, err := p.engine.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
 	buildOpts := exec.BuildOptions{
 		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
 		Reach:        p.engine,

@@ -231,9 +231,14 @@ func TestServeNegativeCaching(t *testing.T) {
 	if st.Errors != 4 || st.NegativeHits != 3 {
 		t.Errorf("after repeats: errors=%d negHits=%d, want 4/3", st.Errors, st.NegativeHits)
 	}
-	// Negative hits skipped the pipeline, so they count toward HitRate.
-	if hr := st.HitRate(); hr != 0.75 {
-		t.Errorf("HitRate = %v, want 0.75 (3 negative hits of 4 requests)", hr)
+	// Negative hits are reported as their own component, not folded
+	// into the (positive) hit rate: all 4 requests failed, so no
+	// compiled plan was ever served from the cache.
+	if hr := st.HitRate(); hr != 0 {
+		t.Errorf("HitRate = %v, want 0 (failures are not plan hits)", hr)
+	}
+	if nhr := st.NegativeHitRate(); nhr != 0.75 {
+		t.Errorf("NegativeHitRate = %v, want 0.75 (3 negative hits of 4 requests)", nhr)
 	}
 
 	// Parse errors are negative-cached too.

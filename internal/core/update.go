@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+)
+
+// This file is the engine side of live graph updates. An Engine is
+// immutable, so updates are functional: ApplyBatch computes a
+// pathindex.Delta for the new edges off-line — the serving engine keeps
+// answering over the old snapshot throughout — and returns a successor
+// engine (epoch+1) over a delta overlay of the same base index, with the
+// histogram rebuilt from the overlay's merged counts and a fresh lazily
+// populated reachability cache. Compact folds an accumulated overlay
+// into a fresh immutable heap index, resetting read amplification to
+// one run per path. The serving layer (Server via an EngineSource, or
+// pathdb.DB) publishes successors with an atomic pointer swap.
+
+// ApplyBatch returns a successor engine whose graph is this engine's
+// graph extended by the edge batch and whose index additionally relates
+// every new length-≤k path the batch completes. The receiver is not
+// modified and keeps serving concurrent readers; the successor shares
+// the immutable base index with it, so memory grows only by the delta.
+// An empty batch returns the receiver unchanged.
+//
+// Cost is proportional to the delta and its join fan-outs (plus one
+// histogram rebuild over path counts), not to the base index payload —
+// the point of maintaining the index instead of rebuilding it.
+func (e *Engine) ApplyBatch(edges []graph.LabeledEdge) (*Engine, error) {
+	if len(edges) == 0 {
+		return e, nil
+	}
+	unpin, err := e.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
+	g2, err := e.g.ExtendFrozen(edges)
+	if err != nil {
+		return nil, fmt.Errorf("core: extending graph: %w", err)
+	}
+	delta, err := pathindex.BuildDelta(e.ix, g2)
+	if err != nil {
+		return nil, fmt.Errorf("core: building index delta: %w", err)
+	}
+	ov, err := pathindex.NewOverlay(e.ix, delta)
+	if err != nil {
+		return nil, fmt.Errorf("core: layering index delta: %w", err)
+	}
+	return e.successor(ov)
+}
+
+// Compact folds the engine's delta overlay into a fresh immutable heap
+// index and returns the successor engine serving it. An engine whose
+// storage carries no delta is returned unchanged. Like ApplyBatch,
+// Compact leaves the receiver serving; the fold reads the base under a
+// pin, so it is safe against a concurrent Close.
+func (e *Engine) Compact() (*Engine, error) {
+	ov, ok := e.ix.(*pathindex.Overlay)
+	if !ok {
+		return e, nil
+	}
+	unpin, err := e.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
+	return e.successor(ov.Materialize())
+}
+
+// successor wraps new storage in an engine one epoch ahead of e,
+// carrying the options over and rebuilding the histogram (whose cost is
+// proportional to the number of label paths). The reachability cache
+// starts empty and is rebuilt lazily per label set on first use — a
+// cached closure over the old graph would silently miss new edges.
+func (e *Engine) successor(ix pathindex.Storage) (*Engine, error) {
+	ne, err := NewEngineFromStorage(ix, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	ne.epoch = e.epoch + 1
+	return ne, nil
+}

@@ -119,7 +119,7 @@ func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, 
 		if len(v.Segment) > ix.K() {
 			return nil, fmt.Errorf("exec: segment %v longer than index k=%d", v.Segment, ix.K())
 		}
-		return NewIndexScan(ix, v.Segment, v.Inverted), nil
+		return newSegmentScan(ix, v.Segment, v.Inverted), nil
 	case *plan.Join:
 		left, err := buildNode(v.Left, ix, opts)
 		if err != nil {
@@ -208,6 +208,31 @@ type IndexScan struct {
 	batches int
 }
 
+// runPairProvider is the optional storage interface of delta-overlay
+// indexes (pathindex.Overlay): a relation split into a base run and a
+// disjoint delta run, both sorted. Scans over such storage merge the two
+// at scan time instead of materializing the union.
+type runPairProvider interface {
+	RunPair(p pathindex.Path) (base, delta []pathindex.Packed)
+}
+
+// newSegmentScan builds the scan operator for one segment: a plain
+// IndexScan over single-run storage, or a MergeUnionScan when the
+// storage carries a non-empty delta run for the (possibly inverted)
+// physical path.
+func newSegmentScan(ix pathindex.Storage, segment pathindex.Path, inverted bool) Operator {
+	if rp, ok := ix.(runPairProvider); ok {
+		p := segment
+		if inverted {
+			p = segment.Inverse()
+		}
+		if base, delta := rp.RunPair(p); len(delta) > 0 {
+			return NewMergeUnionScan(base, delta, inverted)
+		}
+	}
+	return NewIndexScan(ix, segment, inverted)
+}
+
 // NewIndexScan returns a scan of segment; inverted selects target order.
 func NewIndexScan(ix pathindex.Storage, segment pathindex.Path, inverted bool) *IndexScan {
 	p := segment
@@ -263,6 +288,71 @@ func (s *IndexScan) Batches() int { return s.batches }
 
 // Name implements Operator.
 func (s *IndexScan) Name() string { return "index-scan" }
+
+// MergeUnionScan streams the merge-union of a base run and a delta run —
+// the two sorted, disjoint halves of one relation under a delta overlay
+// (incremental updates layered over an immutable base index). The merge
+// happens directly into the batch buffer, so downstream operators see
+// exactly the stream a single-run scan of the materialized union would
+// produce: sorted by (src,dst) packed order, or by target order under
+// swap, preserving the orderings the merge joins rely on.
+type MergeUnionScan struct {
+	base, delta []pathindex.Packed
+	i, j        int
+	swap        bool
+	rows        int
+	batches     int
+}
+
+// NewMergeUnionScan returns a merge-union scan over two sorted disjoint
+// runs. With swap=true the caller passes the runs of the inverse path
+// and pairs are emitted with components exchanged (the inverted scan of
+// merge-join plans).
+func NewMergeUnionScan(base, delta []pathindex.Packed, swap bool) *MergeUnionScan {
+	return &MergeUnionScan{base: base, delta: delta, swap: swap}
+}
+
+// NextBatch implements Operator.
+func (s *MergeUnionScan) NextBatch(buf []Pair) int {
+	n := 0
+	for n < len(buf) {
+		var pr pathindex.Packed
+		switch {
+		case s.i < len(s.base) && (s.j >= len(s.delta) || s.base[s.i] < s.delta[s.j]):
+			pr = s.base[s.i]
+			s.i++
+		case s.j < len(s.delta):
+			pr = s.delta[s.j]
+			s.j++
+		default:
+			s.rows += n
+			if n > 0 {
+				s.batches++
+			}
+			return n
+		}
+		if s.swap {
+			buf[n] = Pair{Src: pr.Dst(), Dst: pr.Src()}
+		} else {
+			buf[n] = Pair{Src: pr.Src(), Dst: pr.Dst()}
+		}
+		n++
+	}
+	s.rows += n
+	if n > 0 {
+		s.batches++
+	}
+	return n
+}
+
+// Rows implements Operator.
+func (s *MergeUnionScan) Rows() int { return s.rows }
+
+// Batches implements Operator.
+func (s *MergeUnionScan) Batches() int { return s.batches }
+
+// Name implements Operator.
+func (s *MergeUnionScan) Name() string { return "merge-union-scan" }
 
 // IdentityScan emits (n, n) for every node of the graph, realizing the ε
 // disjunct.

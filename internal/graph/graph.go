@@ -5,11 +5,17 @@
 //
 // Graphs are built incrementally with AddEdge and then frozen with Freeze,
 // which constructs per-label compressed sparse row (CSR) adjacency in both
-// directions. All query-time accessors require a frozen graph.
+// directions. All query-time accessors require a frozen graph. A frozen
+// graph itself never changes, but it is not the end of the line: Freeze
+// + ExtendFrozen form a persistent-structure pair, where ExtendFrozen
+// derives a new frozen graph with additional edges (and possibly new
+// nodes and labels) while the original keeps serving readers.
 package graph
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -146,30 +152,18 @@ func (g *Graph) EnsureNodes(n int) {
 }
 
 // Freeze deduplicates and sorts all edge relations and builds forward and
-// backward CSR adjacency. After Freeze the graph is immutable. Freeze is
-// idempotent.
+// backward CSR adjacency. After Freeze this graph value is immutable —
+// AddEdge panics — but the dataset it models is not fixed forever: use
+// ExtendFrozen to derive a successor graph containing additional edges
+// without touching (or re-reading) this one. Freeze is idempotent.
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
 	}
 	g.numEdges = 0
 	for l := range g.edges {
-		es := g.edges[l]
-		sort.Slice(es, func(i, j int) bool {
-			if es[i].Src != es[j].Src {
-				return es[i].Src < es[j].Src
-			}
-			return es[i].Dst < es[j].Dst
-		})
-		// Deduplicate in place.
-		out := es[:0]
-		for i, e := range es {
-			if i == 0 || e != es[i-1] {
-				out = append(out, e)
-			}
-		}
-		g.edges[l] = out
-		g.numEdges += len(out)
+		g.edges[l] = sortDedupEdges(g.edges[l])
+		g.numEdges += len(g.edges[l])
 	}
 	n := len(g.nodeNames)
 	g.adj = make([]csr, 2*len(g.edges))
@@ -178,6 +172,23 @@ func (g *Graph) Freeze() {
 		g.adj[Inv(LabelID(l))] = buildCSR(es, n, true)
 	}
 	g.frozen = true
+}
+
+// sortDedupEdges sorts es by (src,dst) and removes duplicates in place.
+func sortDedupEdges(es []Edge) []Edge {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	out := es[:0]
+	for i, e := range es {
+		if i == 0 || e != es[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func buildCSR(es []Edge, n int, reverse bool) csr {
@@ -285,6 +296,71 @@ func (g *Graph) mustBeFrozen() {
 	if !g.frozen {
 		panic("graph: operation requires a frozen graph (call Freeze)")
 	}
+}
+
+// LabeledEdge is one edge of an update batch, by name: src --label--> dst.
+// Names are interned exactly as by AddEdge, so edges may reference
+// existing nodes and labels or introduce new ones.
+type LabeledEdge struct {
+	Src, Label, Dst string
+}
+
+// ExtendFrozen returns a new frozen graph containing every edge of g plus
+// the given batch. g itself is not modified and stays valid for
+// concurrent readers. Node and label identifiers of g are preserved in
+// the successor (new names are interned after the existing ones), so
+// identifiers, index paths, and packed pairs obtained against g remain
+// meaningful against the result. Duplicate edges (within the batch or
+// against g) are deduplicated.
+//
+// The cost is proportional to the batch plus the edge relations of the
+// labels it touches: untouched labels share their (immutable) edge
+// slices and CSR adjacency with g, so frequent small batches do not pay
+// a full-graph re-freeze. Shared state is never written by either graph.
+func (g *Graph) ExtendFrozen(edges []LabeledEdge) (*Graph, error) {
+	if !g.frozen {
+		return nil, fmt.Errorf("graph: ExtendFrozen requires a frozen graph")
+	}
+	ng := &Graph{
+		labelNames: slices.Clone(g.labelNames),
+		labelIDs:   maps.Clone(g.labelIDs),
+		nodeNames:  slices.Clone(g.nodeNames),
+		nodeIDs:    maps.Clone(g.nodeIDs),
+		edges:      make([][]Edge, len(g.edges)),
+	}
+	// Intern the batch first (possibly growing the node and label
+	// tables), collecting new edges per label.
+	added := map[LabelID][]Edge{}
+	for _, e := range edges {
+		l := ng.Label(e.Label) // may append a slot to ng.edges
+		added[l] = append(added[l], Edge{ng.Node(e.Src), ng.Node(e.Dst)})
+	}
+	n := len(ng.nodeNames)
+	ng.adj = make([]csr, 2*len(ng.edges))
+	for l := range ng.edges {
+		lid := LabelID(l)
+		if add, touched := added[lid]; touched || l >= len(g.edges) {
+			var es []Edge
+			if l < len(g.edges) {
+				es = append(make([]Edge, 0, len(g.edges[l])+len(add)), g.edges[l]...)
+			}
+			es = sortDedupEdges(append(es, add...))
+			ng.edges[l] = es
+			ng.adj[Fwd(lid)] = buildCSR(es, n, false)
+			ng.adj[Inv(lid)] = buildCSR(es, n, true)
+		} else {
+			// Untouched label: alias the predecessor's frozen slices.
+			// Its CSR offsets cover only g's node count; Out's bounds
+			// check answers nil for newer nodes, which is correct (new
+			// nodes have no edges of an untouched label).
+			ng.edges[l] = g.edges[l]
+			ng.adj[Fwd(lid)] = g.adj[Fwd(lid)]
+			ng.adj[Inv(lid)] = g.adj[Inv(lid)]
+		}
+		ng.numEdges += len(ng.edges[l])
+	}
+	ng.frozen = true
+	return ng, nil
 }
 
 // Stats summarizes a frozen graph.

@@ -1,0 +1,272 @@
+// Incremental index maintenance: a Delta holds, for every label path of
+// length at most k, the sorted run of pairs that a batch of new edges
+// adds to the path's relation, and an Overlay serves base + delta as one
+// consistent Storage without rebuilding the base.
+//
+// The delta is computed level-wise by the standard delta-join
+// decomposition. Writing p' = p ∪ Δp for relations over the successor
+// graph G' = G ∪ ΔE:
+//
+//	Δ(p∘d) = (p∘d)(G') − (p∘d)(G)
+//	       = ( Δp ∘ d(G')  ∪  p(G) ∘ Δd ) − (p∘d)(G)
+//
+// The first term joins the (small) path delta against the successor
+// graph's CSR adjacency; the second joins the (small) edge delta against
+// the base index via the inverse path's ⟨p⁻, b⟩ prefix lookups — so the
+// whole computation is proportional to the delta and its join fan-outs,
+// never to the base relation payload. This is the maintenance strategy
+// the language-aware path-index line of work (Sasaki, Fletcher &
+// Onizuka) identifies as the practical requirement for serving path
+// indexes under updates.
+package pathindex
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// DeltaStats records delta construction metrics.
+type DeltaStats struct {
+	NewEdges     int           // distinct new (label, src, dst) edges in the batch
+	Entries      int           // total new ⟨path,src,dst⟩ entries across all runs
+	DeltaPaths   int           // label paths with non-empty delta runs
+	DerivedPaths int           // delta runs derived from their inverse by swapping
+	Duration     time.Duration // wall-clock delta build time
+}
+
+// Delta is the per-path increment of one update batch over a base index:
+// for each label path p of length ≤ k, the sorted packed run of pairs in
+// p(G') but not in p(G). Runs are disjoint from the base relations by
+// construction, so merging a base run with its delta run needs no
+// deduplication. A Delta is immutable once built.
+type Delta struct {
+	g     *graph.Graph // the successor graph G'
+	k     int
+	rels  [][]Packed        // delta path id -> sorted new-pair run (non-empty)
+	paths []Path            // delta path id -> path
+	ids   map[string]uint32 // Path.Key() -> delta path id
+	stats DeltaStats
+}
+
+// Graph returns the successor graph the delta was computed against.
+func (d *Delta) Graph() *graph.Graph { return d.g }
+
+// K returns the locality parameter (matches the base index).
+func (d *Delta) K() int { return d.k }
+
+// Stats returns delta construction metrics.
+func (d *Delta) Stats() DeltaStats { return d.stats }
+
+// NumEntries returns the total number of new index entries.
+func (d *Delta) NumEntries() int { return d.stats.Entries }
+
+// Run returns the delta run of p (nil when the batch adds nothing to p).
+func (d *Delta) Run(p Path) []Packed {
+	if id, ok := d.ids[p.Key()]; ok {
+		return d.rels[id]
+	}
+	return nil
+}
+
+func (d *Delta) add(p Path, rel []Packed) {
+	if len(rel) == 0 {
+		return
+	}
+	id := uint32(len(d.paths))
+	d.paths = append(d.paths, p)
+	d.ids[p.Key()] = id
+	d.rels = append(d.rels, rel)
+	d.stats.Entries += len(rel)
+	d.stats.DeltaPaths++
+}
+
+// srcRangeOf returns the contiguous sub-run of rel with Src == src, by
+// binary search (SrcRange for a bare run instead of an indexed path).
+func srcRangeOf(rel []Packed, src graph.NodeID) []Packed {
+	lo, _ := slices.BinarySearch(rel, Pack(src, 0))
+	hi := len(rel)
+	if src < ^graph.NodeID(0) {
+		hi, _ = slices.BinarySearch(rel, Pack(src+1, 0))
+	}
+	return rel[lo:hi:hi]
+}
+
+// diffSorted returns the elements of a not present in b; both runs must
+// be sorted ascending. The result is freshly allocated (nil when empty).
+func diffSorted(a, b []Packed) []Packed {
+	var out []Packed
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// BuildDelta computes the index increment that takes base — an index (or
+// overlay) over graph G — to the successor graph g2, which must have been
+// produced by G.ExtendFrozen (node and label identifiers of G must be
+// preserved). The new edges themselves are recovered by diffing the two
+// graphs' edge relations, so callers only hand over the graphs.
+func BuildDelta(base Storage, g2 *graph.Graph) (*Delta, error) {
+	g := base.Graph()
+	if !g2.Frozen() {
+		return nil, fmt.Errorf("pathindex: BuildDelta requires a frozen successor graph")
+	}
+	if g2.NumNodes() < g.NumNodes() || g2.NumLabels() < g.NumLabels() {
+		return nil, fmt.Errorf("pathindex: successor graph is smaller than the base graph (not an extension)")
+	}
+	for l := 0; l < g.NumLabels(); l++ {
+		if g.LabelName(graph.LabelID(l)) != g2.LabelName(graph.LabelID(l)) {
+			return nil, fmt.Errorf("pathindex: label %d is %q in base graph, %q in successor", l, g.LabelName(graph.LabelID(l)), g2.LabelName(graph.LabelID(l)))
+		}
+	}
+	start := time.Now()
+	k := base.K()
+	d := &Delta{g: g2, k: k, ids: map[string]uint32{}}
+
+	dirs := g2.DirLabels()
+
+	// Level 1: edge deltas per direction-qualified label, by diffing the
+	// successor's sorted edge relations against the base graph's.
+	// edgeDelta is indexed by DirLabel for the ⟨Δd, b⟩ lookups of the
+	// p(G)∘Δd join below.
+	edgeDelta := make([][]Packed, len(dirs))
+	for _, dl := range dirs {
+		if dl.IsInverse() {
+			// Derive Δ(ℓ⁻) by swapping Δℓ; membership is preserved under
+			// swap, so the diff property carries over.
+			fwd := edgeDelta[dl.Flip()]
+			if len(fwd) > 0 {
+				edgeDelta[dl] = swapRelation(fwd)
+			}
+			continue
+		}
+		l := dl.Label()
+		newRel := packEdges(g2.Edges(l))
+		var baseRel []Packed
+		if int(l) < g.NumLabels() {
+			baseRel = base.Relation(Path{dl})
+		}
+		edgeDelta[dl] = diffSorted(newRel, baseRel)
+	}
+	for _, dl := range dirs {
+		if !dl.IsInverse() {
+			d.stats.NewEdges += len(edgeDelta[dl])
+		}
+		d.add(Path{dl}, edgeDelta[dl])
+	}
+
+	// basePathsByLen[n] lists the base paths of length n+1, so each level
+	// can iterate base paths whose relations the edge delta may extend.
+	basePathsByLen := make([][]Path, k)
+	base.AllPaths(func(id uint32, p Path, count int) {
+		cp := slices.Clone(p)
+		basePathsByLen[len(cp)-1] = append(basePathsByLen[len(cp)-1], cp)
+	})
+
+	// Levels 2..k: extend every length-(L-1) path that exists in the base
+	// or gained delta pairs by every direction-qualified label.
+	prev := levelPaths(d, basePathsByLen[0], 1)
+	for level := 2; level <= k; level++ {
+		for _, p := range prev {
+			dp := d.Run(p)
+			pinv := p.Inverse()
+			for _, dl := range dirs {
+				ed := edgeDelta[dl]
+				if len(dp) == 0 && len(ed) == 0 {
+					continue // Δ(p∘d) = Δp∘d' ∪ p∘Δd = ∅
+				}
+				q := append(append(Path{}, p...), dl)
+				if _, done := d.ids[q.Key()]; done {
+					continue
+				}
+				// Derive from the inverse delta when it is already
+				// computed, as the base builder does for full relations.
+				if invID, ok := d.ids[q.Inverse().Key()]; ok {
+					d.add(q, swapRelation(d.rels[invID]))
+					d.stats.DerivedPaths++
+					continue
+				}
+				var raw []Packed
+				// Δp ∘ d over the successor graph's adjacency.
+				for _, pr := range dp {
+					a, b := pr.Src(), pr.Dst()
+					for _, c := range g2.Out(b, dl) {
+						raw = append(raw, Pack(a, c))
+					}
+				}
+				// p(G) ∘ Δd via the base index's ⟨p⁻, b⟩ prefix lookups:
+				// for a new edge (b,c), every a with (b,a) ∈ p⁻(G) gives
+				// (a,c) ∈ (p∘d)(G'). Base paths always carry their
+				// inverses, so the lookup is exact; paths absent from the
+				// base (e.g. over a new label) have empty p(G).
+				for _, pr := range ed {
+					b, c := pr.Src(), pr.Dst()
+					for _, ba := range base.SrcRange(pinv, b) {
+						raw = append(raw, Pack(ba.Dst(), c))
+					}
+				}
+				raw = sortDedup(raw)
+				// Subtract pairs the base already relates: the delta run
+				// must be disjoint so overlay merges need no dedup.
+				rel := raw[:0]
+				for _, pr := range raw {
+					if !base.Contains(q, pr.Src(), pr.Dst()) {
+						rel = append(rel, pr)
+					}
+				}
+				// The run lives as long as the overlay; when subtraction
+				// discarded most of the join output, free the oversized
+				// backing array instead of pinning it behind a short run.
+				if len(rel)*2 < cap(rel) {
+					rel = slices.Clone(rel)
+				}
+				d.add(q, rel)
+			}
+		}
+		if level < k {
+			prev = levelPaths(d, basePathsByLen[level-1], level)
+		}
+	}
+	d.stats.Duration = time.Since(start)
+	return d, nil
+}
+
+// packEdges converts a sorted edge slice to its packed run.
+func packEdges(es []graph.Edge) []Packed {
+	if len(es) == 0 {
+		return nil
+	}
+	rel := make([]Packed, len(es))
+	for i, e := range es {
+		rel[i] = Pack(e.Src, e.Dst)
+	}
+	return rel
+}
+
+// levelPaths returns the distinct paths of the given length that are
+// present in the base (basePaths) or have delta runs: the frontier the
+// next composition level extends.
+func levelPaths(d *Delta, basePaths []Path, length int) []Path {
+	out := slices.Clone(basePaths)
+	seen := make(map[string]bool, len(out))
+	for _, p := range out {
+		seen[p.Key()] = true
+	}
+	for id, p := range d.paths {
+		if len(p) == length && len(d.rels[id]) > 0 && !seen[p.Key()] {
+			seen[p.Key()] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

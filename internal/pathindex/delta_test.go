@@ -1,0 +1,286 @@
+package pathindex
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// extendRandom splits a random edge set into a base graph and an update
+// batch, returning the base graph, the batch, and the full graph built
+// from scratch (the oracle). Node interning order is fixed up front so
+// node IDs agree across all three.
+func extendRandom(r *rand.Rand, nodes, edgesPerLabel int, labels []string, holdout float64) (base, full *graph.Graph, batch []graph.LabeledEdge) {
+	type edge struct{ s, l, d string }
+	var all []edge
+	name := func(n int) string { return "n" + string(rune('A'+n/26)) + string(rune('a'+n%26)) }
+	for _, l := range labels {
+		for e := 0; e < edgesPerLabel; e++ {
+			all = append(all, edge{name(r.Intn(nodes)), l, name(r.Intn(nodes))})
+		}
+	}
+	base, full = graph.New(), graph.New()
+	for n := 0; n < nodes; n++ {
+		base.Node(name(n))
+		full.Node(name(n))
+	}
+	for _, l := range labels {
+		base.Label(l)
+		full.Label(l)
+	}
+	for _, e := range all {
+		full.AddEdge(e.s, e.l, e.d)
+		if r.Float64() < holdout {
+			batch = append(batch, graph.LabeledEdge{Src: e.s, Label: e.l, Dst: e.d})
+		} else {
+			base.AddEdge(e.s, e.l, e.d)
+		}
+	}
+	base.Freeze()
+	full.Freeze()
+	return base, full, batch
+}
+
+// applyOverlay builds the base index, applies the batch as a delta
+// overlay, and returns (overlay, oracle index over the full graph).
+func applyOverlay(t *testing.T, base *graph.Graph, batch []graph.LabeledEdge, full *graph.Graph, k int) (*Overlay, *Index) {
+	t.Helper()
+	ix, err := Build(base, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := base.ExtendFrozen(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDelta(ix, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := NewOverlay(ix, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Build(full, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ov, oracle
+}
+
+// checkStorageEqual compares every accessor of got against the oracle:
+// same paths, same counts, same relations, same ranges, same membership.
+func checkStorageEqual(t *testing.T, got Storage, oracle *Index) {
+	t.Helper()
+	if got.NumEntries() != oracle.NumEntries() {
+		t.Errorf("NumEntries = %d, oracle %d", got.NumEntries(), oracle.NumEntries())
+	}
+	if got.NumLabelPaths() != oracle.NumLabelPaths() {
+		t.Errorf("NumLabelPaths = %d, oracle %d", got.NumLabelPaths(), oracle.NumLabelPaths())
+	}
+	oracle.AllPaths(func(id uint32, p Path, count int) {
+		if got.Count(p) != count {
+			t.Errorf("Count(%v) = %d, oracle %d", p, got.Count(p), count)
+		}
+		want := oracle.Relation(p)
+		if rel := got.Relation(p); !slices.Equal(rel, want) {
+			t.Fatalf("Relation(%v) differs: got %d pairs, oracle %d", p, len(rel), len(want))
+		}
+		if !pairsEqual(collect(got.Scan(p)), collect(oracle.Scan(p))) {
+			t.Fatalf("Scan(%v) differs", p)
+		}
+		var viaBlocks []Packed
+		bi := got.BlocksSized(p, 7)
+		for blk := bi.Next(); blk != nil; blk = bi.Next() {
+			viaBlocks = append(viaBlocks, blk...)
+		}
+		if !slices.Equal(viaBlocks, want) {
+			t.Fatalf("Blocks(%v) differs from oracle relation", p)
+		}
+		for src := 0; src < oracle.Graph().NumNodes(); src += 3 {
+			a := got.SrcRange(p, graph.NodeID(src))
+			b := oracle.SrcRange(p, graph.NodeID(src))
+			if !slices.Equal(a, b) {
+				t.Fatalf("SrcRange(%v, %d) differs", p, src)
+			}
+		}
+		for _, pr := range want[:min(len(want), 50)] {
+			if !got.Contains(p, pr.Src(), pr.Dst()) {
+				t.Fatalf("Contains(%v, %v) = false, oracle has it", p, pr)
+			}
+		}
+	})
+	// No extra paths: every got path must exist in the oracle.
+	got.AllPaths(func(id uint32, p Path, count int) {
+		if _, ok := oracle.PathID(p); !ok && count > 0 {
+			t.Errorf("overlay has path %v (count %d) absent from oracle", p, count)
+		}
+	})
+}
+
+func TestDeltaOverlayMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		base, full, batch := extendRandom(r, 30, 80, []string{"a", "b"}, 0.1)
+		for _, k := range []int{1, 2, 3} {
+			ov, oracle := applyOverlay(t, base, batch, full, k)
+			checkStorageEqual(t, ov, oracle)
+			// Delta runs must be disjoint from base runs.
+			oracle.AllPaths(func(id uint32, p Path, count int) {
+				baseRun, deltaRun := ov.RunPair(p)
+				for _, pr := range deltaRun {
+					if _, found := slices.BinarySearch(baseRun, pr); found {
+						t.Fatalf("k=%d: delta run of %v repeats base pair %v", k, p, pr)
+					}
+				}
+			})
+			// Materialize must also equal the rebuild, including the
+			// exact |paths_k| recount.
+			mat := ov.Materialize()
+			checkStorageEqual(t, mat, oracle)
+			if mat.PathsKCount() != oracle.PathsKCount() {
+				t.Errorf("k=%d: materialized PathsKCount = %d, oracle %d", k, mat.PathsKCount(), oracle.PathsKCount())
+			}
+		}
+	}
+}
+
+func TestDeltaNewNodesAndLabels(t *testing.T) {
+	base := graph.New()
+	base.AddEdge("x", "a", "y")
+	base.AddEdge("y", "a", "z")
+	base.Freeze()
+	ix, err := Build(base, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The batch introduces a new node (w) and a new label (b).
+	batch := []graph.LabeledEdge{
+		{Src: "z", Label: "a", Dst: "w"},
+		{Src: "x", Label: "b", Dst: "z"},
+		{Src: "w", Label: "b", Dst: "x"},
+	}
+	g2, err := base.ExtendFrozen(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDelta(ix, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := NewOverlay(ix, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := graph.New()
+	full.AddEdge("x", "a", "y")
+	full.AddEdge("y", "a", "z")
+	full.AddEdge("z", "a", "w")
+	full.AddEdge("x", "b", "z")
+	full.AddEdge("w", "b", "x")
+	full.Freeze()
+	oracle, err := Build(full, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStorageEqual(t, ov, oracle)
+	if ov.Graph().NumNodes() != 4 || ov.Graph().NumLabels() != 2 {
+		t.Errorf("overlay graph has %d nodes / %d labels, want 4 / 2", ov.Graph().NumNodes(), ov.Graph().NumLabels())
+	}
+}
+
+// TestOverlayFlattening: stacking a second delta over an overlay must
+// fold into a single overlay over the original base, and still match a
+// rebuild of everything.
+func TestOverlayFlattening(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	base, full, batch := extendRandom(r, 25, 60, []string{"a", "b"}, 0.2)
+	half := len(batch) / 2
+	ix, err := Build(base, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := base.ExtendFrozen(batch[:half])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := BuildDelta(ix, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov1, err := NewOverlay(ix, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := g2.ExtendFrozen(batch[half:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := BuildDelta(ov1, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov2, err := NewOverlay(ov1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov2.Base() != Storage(ix) {
+		t.Fatalf("stacked overlay did not flatten onto the original base")
+	}
+	oracle, err := Build(full, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStorageEqual(t, ov2, oracle)
+}
+
+func TestDeltaEmptyBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	base, _, _ := extendRandom(r, 20, 40, []string{"a"}, 0)
+	ix, err := Build(base, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := base.ExtendFrozen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDelta(ix, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEntries() != 0 || d.Stats().NewEdges != 0 {
+		t.Errorf("empty batch produced %d entries / %d new edges", d.NumEntries(), d.Stats().NewEdges)
+	}
+	ov, err := NewOverlay(ix, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.DeltaEntries() != 0 || ov.DeltaRatio() != 0 {
+		t.Errorf("empty overlay reports delta entries %d ratio %v", ov.DeltaEntries(), ov.DeltaRatio())
+	}
+	checkStorageEqual(t, ov, ix)
+}
+
+func TestDeltaRejectsMismatchedGraphs(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.Freeze()
+	ix, err := Build(g, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := graph.New()
+	other.AddEdge("x", "zzz", "y")
+	other.Freeze()
+	if _, err := BuildDelta(ix, other); err == nil {
+		t.Error("BuildDelta accepted a successor with a different label vocabulary")
+	}
+	unfrozen := graph.New()
+	unfrozen.AddEdge("x", "a", "y")
+	if _, err := BuildDelta(ix, unfrozen); err == nil {
+		t.Error("BuildDelta accepted an unfrozen successor")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"unsafe"
 
 	"repro/internal/graph"
@@ -22,14 +23,23 @@ type heapIndex = Index
 // relative to its relation payload, and scans fault pages in on demand.
 //
 // A MappedIndex satisfies Storage and is safe for any number of
-// concurrent readers. Close unmaps the file; it must not be called while
-// queries are in flight, and no relation slice obtained from the index
-// may be used afterwards.
+// concurrent readers. It also implements Pinner: the engine pins the
+// index around every evaluation, and Close participates — it marks the
+// index closing (failing new Pins with ErrClosed), blocks until
+// in-flight readers release their pins, and only then unmaps, so a
+// concurrent Close can never invalidate memory a query is scanning. No
+// relation slice obtained from the index may be used after Close
+// returns.
 type MappedIndex struct {
 	heapIndex
 	data   []byte
 	unmap  func([]byte) error
 	mapped bool
+
+	mu      sync.Mutex
+	drained sync.Cond // signaled when pins reaches 0 while closing
+	pins    int
+	closing bool
 }
 
 // OpenMapped opens a format-v2 index file over g with zero-copy access
@@ -49,17 +59,54 @@ func OpenMapped(path string, g *graph.Graph) (*MappedIndex, error) {
 		}
 		return nil, fmt.Errorf("pathindex: opening %s: %w", path, err)
 	}
-	return &MappedIndex{heapIndex: *ix, data: data, unmap: unmap, mapped: mapped}, nil
+	m := &MappedIndex{heapIndex: *ix, data: data, unmap: unmap, mapped: mapped}
+	m.drained.L = &m.mu
+	return m, nil
+}
+
+// Pin implements Pinner: it registers a reader, failing with ErrClosed
+// once Close has begun. Every successful Pin must be paired with Unpin.
+func (m *MappedIndex) Pin() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closing {
+		return ErrClosed
+	}
+	m.pins++
+	return nil
+}
+
+// Unpin implements Pinner, releasing a reader registered by Pin.
+func (m *MappedIndex) Unpin() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pins <= 0 {
+		panic("pathindex: Unpin without matching Pin")
+	}
+	m.pins--
+	if m.pins == 0 && m.closing {
+		m.drained.Broadcast()
+	}
 }
 
 // Close releases the file mapping (a no-op for the read-file fallback).
-// The index and every slice it handed out become invalid.
+// It first fails all future Pins with ErrClosed, then blocks until every
+// in-flight pinned reader has called Unpin, so the unmap is
+// deterministic: readers that started before Close finish safely,
+// readers that start after get an error instead of a fault. Close is
+// idempotent; concurrent Closes all wait and only one unmaps.
 func (m *MappedIndex) Close() error {
-	if m.data == nil {
-		return nil
+	m.mu.Lock()
+	m.closing = true
+	for m.pins > 0 {
+		m.drained.Wait()
 	}
 	data := m.data
 	m.data = nil
+	m.mu.Unlock()
+	if data == nil {
+		return nil
+	}
 	if m.unmap != nil {
 		return m.unmap(data)
 	}

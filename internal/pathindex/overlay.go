@@ -1,0 +1,371 @@
+package pathindex
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Overlay serves a base index and one update Delta as a single
+// consistent Storage over the successor graph: every relation is the
+// merge-union of the base run and the delta run, produced at scan time.
+// The base is never modified, so an Overlay can be built while the base
+// keeps serving readers, and swapping the overlay in is a pointer store.
+//
+// Overlays never stack: layering a new delta over an existing overlay
+// folds the two deltas into one (they are disjoint by construction), so
+// reads always touch at most two runs per path regardless of how many
+// batches have been applied. Use Materialize to fold base and delta into
+// a fresh immutable heap index (compaction).
+//
+// Like every Storage, an Overlay is immutable after construction and safe
+// for any number of concurrent readers. Pin/Unpin and Close delegate to
+// the base, so the lifetime of a memory-mapped base is managed through
+// whatever overlay currently wraps it.
+type Overlay struct {
+	base  Storage
+	delta *Delta
+	g     *graph.Graph
+
+	// Merged directory: ids 0..base.NumLabelPaths()-1 alias the base ids;
+	// delta-only paths (e.g. over new labels) are appended after.
+	paths     []Path
+	ids       map[string]uint32
+	counts    []int
+	deltaRuns [][]Packed // by merged id; nil when the batch left p alone
+	numBase   int
+	entries   int
+	stats     BuildStats
+}
+
+// NewOverlay layers delta over base. delta must have been built by
+// BuildDelta against this base (or the base this overlay flattens to).
+// If base is itself an *Overlay, the two deltas are folded and the new
+// overlay wraps the original base directly.
+func NewOverlay(base Storage, delta *Delta) (*Overlay, error) {
+	if base.K() != delta.K() {
+		return nil, fmt.Errorf("pathindex: overlay delta k=%d does not match base k=%d", delta.K(), base.K())
+	}
+	if prev, ok := base.(*Overlay); ok {
+		delta = foldDeltas(prev.delta, delta)
+		base = prev.base
+	}
+	o := &Overlay{base: base, delta: delta, g: delta.Graph(), ids: map[string]uint32{}}
+	base.AllPaths(func(id uint32, p Path, count int) {
+		cp := slices.Clone(p)
+		if uint32(len(o.paths)) != id {
+			panic("pathindex: base AllPaths ids are not dense")
+		}
+		o.paths = append(o.paths, cp)
+		o.ids[cp.Key()] = id
+		run := delta.Run(cp)
+		o.counts = append(o.counts, count+len(run))
+		o.deltaRuns = append(o.deltaRuns, run)
+		o.entries += count + len(run)
+	})
+	o.numBase = len(o.paths)
+	for id, p := range delta.paths {
+		if _, dup := o.ids[p.Key()]; dup {
+			continue
+		}
+		run := delta.rels[id]
+		nid := uint32(len(o.paths))
+		o.paths = append(o.paths, p)
+		o.ids[p.Key()] = nid
+		o.counts = append(o.counts, len(run))
+		o.deltaRuns = append(o.deltaRuns, run)
+		o.entries += len(run)
+	}
+	o.stats = BuildStats{
+		Entries:     o.entries,
+		LabelPaths:  len(o.paths),
+		PathsKCount: overlayPathsK(base, delta),
+		Duration:    delta.Stats().Duration,
+	}
+	return o, nil
+}
+
+// overlayPathsK extends the base's |paths_k(G)| by the identity pairs of
+// new nodes and the distinct non-identity delta pairs. Pairs already
+// related by a *different* base path are counted again, so the value is
+// an upper bound (exactness is restored by Materialize, which recounts);
+// it only feeds selectivity estimation, where the slack is harmless. A
+// base that skipped the count (0 with non-empty relations) stays 0.
+func overlayPathsK(base Storage, delta *Delta) int {
+	basePK := base.PathsKCount()
+	if basePK == 0 && base.NumEntries() > 0 {
+		return 0
+	}
+	total := 0
+	for _, rel := range delta.rels {
+		total += len(rel)
+	}
+	all := make([]Packed, 0, total)
+	for _, rel := range delta.rels {
+		all = append(all, rel...)
+	}
+	pk := basePK + (delta.Graph().NumNodes() - base.Graph().NumNodes())
+	for _, pr := range sortDedup(all) {
+		if pr.Src() != pr.Dst() {
+			pk++
+		}
+	}
+	return pk
+}
+
+// foldDeltas merges two successive deltas into one over the second's
+// graph. d2 was built over base∪d1, so its runs are disjoint from d1's;
+// the merge is a plain sorted union per path.
+func foldDeltas(d1, d2 *Delta) *Delta {
+	out := &Delta{g: d2.g, k: d2.k, ids: map[string]uint32{}}
+	out.stats.NewEdges = d1.stats.NewEdges + d2.stats.NewEdges
+	out.stats.Duration = d1.stats.Duration + d2.stats.Duration
+	out.stats.DerivedPaths = d1.stats.DerivedPaths + d2.stats.DerivedPaths
+	for id, p := range d1.paths {
+		out.add(p, mergeRuns(d1.rels[id], d2.Run(p)))
+	}
+	for id, p := range d2.paths {
+		if _, dup := out.ids[p.Key()]; !dup {
+			out.add(p, d2.rels[id])
+		}
+	}
+	return out
+}
+
+// mergeRuns returns the sorted union of two sorted disjoint runs. One
+// empty side returns the other unchanged (zero-copy).
+func mergeRuns(a, b []Packed) []Packed {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Packed, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Base returns the wrapped base storage.
+func (o *Overlay) Base() Storage { return o.base }
+
+// BaseEntries returns the base index's entry count.
+func (o *Overlay) BaseEntries() int { return o.base.NumEntries() }
+
+// DeltaEntries returns the number of entries held in delta runs.
+func (o *Overlay) DeltaEntries() int { return o.entries - o.base.NumEntries() }
+
+// DeltaRatio returns DeltaEntries/BaseEntries — the compaction trigger
+// metric. Against an empty base the ratio is not well defined, so any
+// non-empty delta reports 1 (always worth compacting).
+func (o *Overlay) DeltaRatio() float64 {
+	de := o.DeltaEntries()
+	be := o.BaseEntries()
+	if be == 0 {
+		if de == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(de) / float64(be)
+}
+
+// K implements Storage.
+func (o *Overlay) K() int { return o.base.K() }
+
+// Graph implements Storage: the successor graph of the delta.
+func (o *Overlay) Graph() *graph.Graph { return o.g }
+
+// Stats implements Storage. Entries and LabelPaths cover base + delta;
+// Duration is the delta build time (the base was not rebuilt).
+func (o *Overlay) Stats() BuildStats { return o.stats }
+
+// NumEntries implements Storage.
+func (o *Overlay) NumEntries() int { return o.entries }
+
+// NumLabelPaths implements Storage.
+func (o *Overlay) NumLabelPaths() int { return len(o.paths) }
+
+// PathsKCount implements Storage (an upper bound; see overlayPathsK).
+func (o *Overlay) PathsKCount() int { return o.stats.PathsKCount }
+
+// PathID implements Storage.
+func (o *Overlay) PathID(p Path) (uint32, bool) {
+	id, ok := o.ids[p.Key()]
+	return id, ok
+}
+
+// PathByID implements Storage.
+func (o *Overlay) PathByID(id uint32) Path { return o.paths[id] }
+
+// Count implements Storage.
+func (o *Overlay) Count(p Path) int {
+	if id, ok := o.ids[p.Key()]; ok {
+		return o.counts[id]
+	}
+	return 0
+}
+
+// CountByID implements Storage.
+func (o *Overlay) CountByID(id uint32) int { return o.counts[id] }
+
+// AllPaths implements Storage.
+func (o *Overlay) AllPaths(fn func(id uint32, p Path, count int)) {
+	for id, p := range o.paths {
+		fn(uint32(id), p, o.counts[id])
+	}
+}
+
+// RunPair returns the base and delta runs whose disjoint merge-union is
+// p(G'). Either may be empty; both alias the storage and must not be
+// mutated. The executor's merge-union scan consumes this directly.
+func (o *Overlay) RunPair(p Path) (base, delta []Packed) {
+	id, ok := o.ids[p.Key()]
+	if !ok {
+		return nil, nil
+	}
+	if id < uint32(o.numBase) {
+		base = o.base.Relation(p)
+	}
+	return base, o.deltaRuns[id]
+}
+
+// Relation implements Storage. When both the base and delta runs are
+// non-empty the merged run is freshly allocated; prefer RunPair (or
+// Blocks/SrcRange, which merge lazily or on small ranges) on hot paths.
+func (o *Overlay) Relation(p Path) []Packed {
+	base, delta := o.RunPair(p)
+	return mergeRuns(base, delta)
+}
+
+// Blocks implements Storage.
+func (o *Overlay) Blocks(p Path) *BlockIterator {
+	return o.BlocksSized(p, DefaultBlockSize)
+}
+
+// BlocksSized implements Storage.
+func (o *Overlay) BlocksSized(p Path, blockSize int) *BlockIterator {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	return &BlockIterator{rel: o.Relation(p), size: blockSize}
+}
+
+// SrcRange implements Storage: the base ⟨p, src⟩ range merged with the
+// delta's. A side that is empty costs nothing; a genuine overlap (new
+// edges out of an already-connected source) allocates the small merged
+// range.
+func (o *Overlay) SrcRange(p Path, src graph.NodeID) []Packed {
+	id, ok := o.ids[p.Key()]
+	if !ok {
+		return nil
+	}
+	var base []Packed
+	if id < uint32(o.numBase) {
+		base = o.base.SrcRange(p, src)
+	}
+	return mergeRuns(base, srcRangeOf(o.deltaRuns[id], src))
+}
+
+// Scan implements Storage.
+func (o *Overlay) Scan(p Path) *PairIterator {
+	return &PairIterator{rel: o.Relation(p)}
+}
+
+// ScanFrom implements Storage.
+func (o *Overlay) ScanFrom(p Path, src graph.NodeID) *PairIterator {
+	return &PairIterator{rel: o.SrcRange(p, src)}
+}
+
+// Contains implements Storage: membership in either run.
+func (o *Overlay) Contains(p Path, src, dst graph.NodeID) bool {
+	id, ok := o.ids[p.Key()]
+	if !ok {
+		return false
+	}
+	if _, found := slices.BinarySearch(o.deltaRuns[id], Pack(src, dst)); found {
+		return true
+	}
+	return id < uint32(o.numBase) && o.base.Contains(p, src, dst)
+}
+
+// Materialize folds base and delta into a fresh immutable heap index
+// over the successor graph — compaction's payload copy. Every run is
+// copied (a materialized index must outlive a memory-mapped base), and
+// |paths_k(G')| is recounted exactly unless the base skipped it. The
+// result serves identically to a from-scratch Build over the successor
+// graph and accepts the v2 writer (SaveV2) unchanged.
+func (o *Overlay) Materialize() *Index {
+	start := time.Now()
+	ix := &Index{g: o.g, k: o.K(), ids: make(map[string]uint32, len(o.paths))}
+	for id, p := range o.paths {
+		var rel []Packed
+		base, delta := o.RunPair(p)
+		if len(delta) == 0 {
+			rel = slices.Clone(base)
+		} else if len(base) == 0 {
+			rel = slices.Clone(delta)
+		} else {
+			rel = mergeRuns(base, delta)
+		}
+		ix.paths = append(ix.paths, p)
+		ix.ids[p.Key()] = uint32(id)
+		ix.count = append(ix.count, len(rel))
+		ix.relations = append(ix.relations, rel)
+	}
+	ix.stats = BuildStats{
+		Entries:    o.entries,
+		LabelPaths: len(o.paths),
+	}
+	if !(o.base.PathsKCount() == 0 && o.base.NumEntries() > 0) {
+		ix.stats.PathsKCount = countDistinctPairs(ix.relations, o.g.NumNodes())
+	}
+	ix.stats.Duration = time.Since(start)
+	return ix
+}
+
+// Save persists the merged index in format v1 (via Materialize).
+func (o *Overlay) Save(path string) error { return o.Materialize().Save(path) }
+
+// SaveV2 persists the merged index in format v2 (via Materialize).
+func (o *Overlay) SaveV2(path string) error { return o.Materialize().SaveV2(path) }
+
+// Pin implements Pinner by delegating to the base (a heap base needs no
+// pinning and always succeeds).
+func (o *Overlay) Pin() error {
+	if p, ok := o.base.(Pinner); ok {
+		return p.Pin()
+	}
+	return nil
+}
+
+// Unpin implements Pinner.
+func (o *Overlay) Unpin() {
+	if p, ok := o.base.(Pinner); ok {
+		p.Unpin()
+	}
+}
+
+// Close releases the base storage when it is closeable (a mapped base's
+// unmap); overlays over heap bases close to a no-op.
+func (o *Overlay) Close() error {
+	if c, ok := o.base.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+var _ Storage = (*Overlay)(nil)

@@ -1,8 +1,26 @@
 package pathindex
 
 import (
+	"errors"
+
 	"repro/internal/graph"
 )
+
+// ErrClosed is returned by Pin once Close has begun: the storage's file
+// image is (or is about to be) unmapped and no new readers may start.
+var ErrClosed = errors.New("pathindex: index closed")
+
+// Pinner is implemented by storage whose backing memory has a managed
+// lifetime (*MappedIndex, and *Overlay over such a base). A reader that
+// will touch relation memory must hold a pin for the duration of the
+// access: Pin fails with ErrClosed once Close has begun, and Close
+// blocks until every pin is released, so an unmap can never pull pages
+// out from under an in-flight scan. Heap-backed storage needs no pinning
+// and does not implement the interface; callers type-assert and skip.
+type Pinner interface {
+	Pin() error
+	Unpin()
+}
 
 // Storage is the read side of a k-path index: everything the engine,
 // executor, and histogram need to plan and evaluate queries. It is

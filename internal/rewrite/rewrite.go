@@ -264,6 +264,15 @@ type Options struct {
 	// disjunct (closure bodies are capped at their own level). Zero
 	// means the DefaultMaxPathLength limit.
 	MaxPathLength int
+	// MaxTotalSteps caps the total expanded size of the normal form:
+	// the summed steps over every produced disjunct (closure bodies
+	// included). The per-disjunct and disjunct-count limits alone do
+	// not compose into a memory bound — a StarBound-expanded
+	// multi-label star can sit just under MaxDisjuncts with long
+	// disjuncts, "succeeding" into an expansion whose downstream
+	// operator tree is gigabytes — so the total is capped on its own.
+	// Zero means the DefaultMaxTotalSteps limit.
+	MaxTotalSteps int
 }
 
 // Default expansion limits. They are generous for the workloads of the
@@ -272,6 +281,7 @@ type Options struct {
 const (
 	DefaultMaxDisjuncts  = 65536
 	DefaultMaxPathLength = 512
+	DefaultMaxTotalSteps = 1 << 18
 )
 
 // A LimitError reports that expansion exceeded Options limits.
@@ -309,10 +319,12 @@ func annotate(err error, e rpq.Expr) error {
 }
 
 // seqSet is a deduplicated ordered set of sequences; the empty sequence
-// represents ε.
+// represents ε. steps tracks the summed TotalSteps of the members — the
+// expanded size subject to Options.MaxTotalSteps.
 type seqSet struct {
-	seqs []Seq
-	seen map[string]bool
+	seqs  []Seq
+	seen  map[string]bool
+	steps int
 }
 
 func newSeqSet() *seqSet { return &seqSet{seen: map[string]bool{}} }
@@ -322,7 +334,23 @@ func (s *seqSet) add(q Seq) {
 	if !s.seen[k] {
 		s.seen[k] = true
 		s.seqs = append(s.seqs, q)
+		s.steps += q.TotalSteps()
 	}
+}
+
+// limitCheck reports whether s exceeds the expansion limits, returning
+// the error to surface (disjunct count first, then total size). It is
+// consulted at every accumulation point, so the error fires as soon as
+// a set crosses a limit — well before the expansion (or the operator
+// tree built from it) grows to a problematic allocation.
+func limitCheck(s *seqSet, opts Options) error {
+	if len(s.seqs) > opts.MaxDisjuncts {
+		return &LimitError{What: "disjunct", Limit: opts.MaxDisjuncts, Option: "MaxDisjuncts"}
+	}
+	if s.steps > opts.MaxTotalSteps {
+		return &LimitError{What: "total step", Limit: opts.MaxTotalSteps, Option: "MaxTotalSteps"}
+	}
+	return nil
 }
 
 // Normalize rewrites e into star-factored union normal form.
@@ -335,6 +363,9 @@ func Normalize(e rpq.Expr, opts Options) (Normal, error) {
 	}
 	if opts.MaxPathLength == 0 {
 		opts.MaxPathLength = DefaultMaxPathLength
+	}
+	if opts.MaxTotalSteps == 0 {
+		opts.MaxTotalSteps = DefaultMaxTotalSteps
 	}
 	set, err := expand(e, opts)
 	if err != nil {
@@ -387,8 +418,8 @@ func expand(e rpq.Expr, opts Options) (*seqSet, error) {
 			for _, q := range sub.seqs {
 				out.add(q)
 			}
-			if len(out.seqs) > opts.MaxDisjuncts {
-				return nil, annotate(&LimitError{What: "disjunct", Limit: opts.MaxDisjuncts, Option: "MaxDisjuncts"}, e)
+			if err := limitCheck(out, opts); err != nil {
+				return nil, annotate(err, e)
 			}
 		}
 		return out, nil
@@ -441,8 +472,8 @@ func expand(e rpq.Expr, opts Options) (*seqSet, error) {
 				for _, q := range power.seqs {
 					out.add(q)
 				}
-				if len(out.seqs) > opts.MaxDisjuncts {
-					return nil, annotate(&LimitError{What: "disjunct", Limit: opts.MaxDisjuncts, Option: "MaxDisjuncts"}, e)
+				if err := limitCheck(out, opts); err != nil {
+					return nil, annotate(err, e)
 				}
 			}
 			// If sub can only produce ε, further powers add nothing.
@@ -479,8 +510,8 @@ func expandClosure(v rpq.Repeat, opts Options) (*seqSet, error) {
 		default:
 			body.add(q)
 		}
-		if len(body.seqs) > opts.MaxDisjuncts {
-			return nil, annotate(&LimitError{What: "disjunct", Limit: opts.MaxDisjuncts, Option: "MaxDisjuncts"}, v)
+		if err := limitCheck(body, opts); err != nil {
+			return nil, annotate(err, v)
 		}
 	}
 	out := newSeqSet()
@@ -529,8 +560,8 @@ func cross(a, b *seqSet, opts Options) (*seqSet, error) {
 				return nil, &LimitError{What: "path length", Limit: opts.MaxPathLength, Option: "MaxPathLength"}
 			}
 			out.add(q)
-			if len(out.seqs) > opts.MaxDisjuncts {
-				return nil, &LimitError{What: "disjunct", Limit: opts.MaxDisjuncts, Option: "MaxDisjuncts"}
+			if err := limitCheck(out, opts); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -294,6 +294,42 @@ func TestLimitErrorContext(t *testing.T) {
 	}
 }
 
+// TestExpandStarsTotalSizeBound is the regression test for the legacy
+// ExpandStars blowout: a two-label star bounded at 15 expands to 65535
+// disjuncts — one under the default MaxDisjuncts — whose summed size is
+// ~900k steps, enough that the downstream operator tree used to reach
+// gigabytes. The expansion must now fail on the total-size bound, naming
+// Options.MaxTotalSteps, well before any such allocation: the limit is
+// checked at every accumulation point, so the expansion is abandoned as
+// soon as the running total crosses DefaultMaxTotalSteps (a few MB of
+// sequences at most).
+func TestExpandStarsTotalSizeBound(t *testing.T) {
+	_, err := Normalize(rpq.MustParse("(a|b)*"), Options{ExpandStars: true, StarBound: 15})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("(a|b)* with StarBound 15 must exceed the total-size bound, got %v", err)
+	}
+	if le.Option != "MaxTotalSteps" {
+		t.Errorf("Option = %q, want MaxTotalSteps (the disjunct count alone stays under its limit)", le.Option)
+	}
+	if le.Limit != DefaultMaxTotalSteps {
+		t.Errorf("Limit = %d, want the default %d", le.Limit, DefaultMaxTotalSteps)
+	}
+	if msg := le.Error(); !strings.Contains(msg, "MaxTotalSteps") {
+		t.Errorf("error text does not name the size option: %q", msg)
+	}
+
+	// Raising the bound admits the same expansion (sanity: the new limit
+	// is the only thing rejecting it).
+	if _, err := Normalize(rpq.MustParse("(a|b)*"), Options{ExpandStars: true, StarBound: 15, MaxTotalSteps: 1 << 21}); err != nil {
+		t.Errorf("raised MaxTotalSteps still rejects: %v", err)
+	}
+	// Moderate expansions stay admitted under the default.
+	if _, err := Normalize(rpq.MustParse("(a|b)*"), Options{ExpandStars: true, StarBound: 8}); err != nil {
+		t.Errorf("moderate star expansion rejected: %v", err)
+	}
+}
+
 func TestEpsilonOnlyRepeat(t *testing.T) {
 	n := norm(t, "(){5,9}", Options{})
 	if !n.HasEpsilon || len(n.Paths) != 0 {

@@ -31,6 +31,7 @@ package pathdb
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -105,19 +106,72 @@ type Options struct {
 	// MaxIndexEntries aborts Build if the index would exceed this many
 	// entries; 0 means unlimited.
 	MaxIndexEntries int
+	// MaxTotalSteps caps the total expanded size of a query's normal
+	// form (summed steps over all disjuncts) — the bound that keeps
+	// legacy ExpandStars expansions from "succeeding" into huge operator
+	// trees. 0 uses the library default.
+	MaxTotalSteps int
+	// CompactRatio is the delta/base entry ratio beyond which ApplyBatch
+	// schedules a background compaction of the update overlay into a
+	// fresh immutable index. 0 uses DefaultCompactRatio; a negative
+	// value disables automatic compaction (Compact can still be called
+	// explicitly).
+	CompactRatio float64
 }
 
-// DB is an immutable RPQ database: a frozen graph plus its k-path index
-// and selectivity histogram.
+// DefaultCompactRatio is the automatic-compaction trigger: once delta
+// runs hold more than this fraction of the base index's entries, the
+// overlay is folded in the background. Below it, the two-run merge at
+// scan time costs little; above it, the fold is worth its one-time copy.
+const DefaultCompactRatio = 0.25
+
+// DB is an RPQ database: a frozen graph plus its k-path index and
+// selectivity histogram, served through an atomically swappable engine
+// snapshot. Reads are wait-free against writes: every query runs over
+// the snapshot current when it started, ApplyBatch publishes a
+// successor snapshot (graph + delta overlay) with one pointer store,
+// and compaction folds accumulated deltas back into an immutable index
+// in the background.
 //
 // A DB is safe for concurrent use: Query, QueryWith, QueryFrom,
 // QueryParallel, Explain, and the read accessors may be called from any
-// number of goroutines, and SetDefaultStrategy is atomic. For serving
-// heavy repeated traffic, Serve adds a plan cache on top.
+// number of goroutines, SetDefaultStrategy is atomic, and ApplyBatch /
+// Compact serialize among themselves without blocking readers. For
+// serving heavy repeated traffic, Serve adds a plan cache on top.
 type DB struct {
-	engine          *core.Engine
+	engine          atomic.Pointer[core.Engine]
 	defaultStrategy atomic.Int32
+
+	// mu serializes mutations (ApplyBatch, Compact): single writer,
+	// many wait-free readers.
+	mu           sync.Mutex
+	compactRatio float64
+	compacting   atomic.Bool
+	batches      atomic.Int64 // ApplyBatch calls that produced a new epoch
+	compactions  atomic.Int64 // completed compactions
+
+	// baseCloser releases the storage opened with the DB (the mapped
+	// index file of Open); update snapshots layer over it without
+	// changing what must eventually be closed.
+	baseCloser io.Closer
 }
+
+// newDB wraps an engine in a DB with the default strategy set.
+func newDB(engine *core.Engine, closer io.Closer, compactRatio float64) *DB {
+	db := &DB{baseCloser: closer}
+	if compactRatio == 0 {
+		compactRatio = DefaultCompactRatio
+	}
+	db.compactRatio = compactRatio
+	db.engine.Store(engine)
+	db.SetDefaultStrategy(StrategyMinSupport)
+	return db
+}
+
+// eng returns the current engine snapshot. Callers capture it once per
+// operation so a concurrent swap cannot split one request across two
+// snapshots.
+func (db *DB) eng() *core.Engine { return db.engine.Load() }
 
 // Build freezes g (if needed), constructs the k-path index and
 // histogram, and returns a queryable database.
@@ -133,14 +187,13 @@ func Build(g *Graph, opts Options) (*DB, error) {
 		ExpandStars:      opts.ExpandStars,
 		MaxDisjuncts:     opts.MaxDisjuncts,
 		MaxPathLength:    opts.MaxPathLength,
+		MaxTotalSteps:    opts.MaxTotalSteps,
 		MaxIndexEntries:  opts.MaxIndexEntries,
 	})
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{engine: engine}
-	db.SetDefaultStrategy(StrategyMinSupport)
-	return db, nil
+	return newDB(engine, nil, opts.CompactRatio), nil
 }
 
 // SetDefaultStrategy changes the strategy used by Query. The initial
@@ -154,6 +207,12 @@ func (db *DB) DefaultStrategy() Strategy { return Strategy(db.defaultStrategy.Lo
 
 // Pair is a query answer pair of node identifiers.
 type Pair = pathindex.Pair
+
+// ErrIndexClosed is the error (matched with errors.Is) behind queries
+// and updates that start after DB.Close has released a memory-mapped
+// index: the race with Close is lost deterministically instead of
+// faulting on unmapped pages.
+var ErrIndexClosed = pathindex.ErrClosed
 
 // Result is a query answer.
 type Result struct {
@@ -173,13 +232,14 @@ func (db *DB) Query(query string) (*Result, error) {
 
 // QueryWith evaluates an RPQ under an explicit strategy.
 func (db *DB) QueryWith(query string, strategy Strategy) (*Result, error) {
-	res, err := db.engine.EvalQuery(query, strategy)
+	e := db.eng()
+	res, err := e.EvalQuery(query, strategy)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Pairs: res.Pairs,
-		Names: db.engine.NamedPairs(res.Pairs),
+		Names: e.NamedPairs(res.Pairs),
 		Stats: res.Stats,
 	}, nil
 }
@@ -190,7 +250,7 @@ func (db *DB) QueryWith(query string, strategy Strategy) (*Result, error) {
 // full pair relation, so it is much faster than Query for selective
 // sources.
 func (db *DB) QueryFrom(query, source string) ([]string, error) {
-	return db.engine.EvalQueryFrom(query, source)
+	return db.eng().EvalQueryFrom(query, source)
 }
 
 // QueryParallel evaluates an RPQ with the disjuncts of its expansion
@@ -201,7 +261,8 @@ func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	prep, err := db.engine.Compile(expr, strategy)
+	e := db.eng()
+	prep, err := e.Compile(expr, strategy)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +272,7 @@ func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Resu
 	}
 	return &Result{
 		Pairs: res.Pairs,
-		Names: db.engine.NamedPairs(res.Pairs),
+		Names: e.NamedPairs(res.Pairs),
 		Stats: res.Stats,
 	}, nil
 }
@@ -222,7 +283,7 @@ func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Resu
 // to reuse the index. Prefer SaveIndexV2 for new files: its layout opens
 // without a decode step.
 func (db *DB) SaveIndex(path string) error {
-	return db.engine.Storage().(indexSaver).Save(path)
+	return db.eng().Storage().(indexSaver).Save(path)
 }
 
 // SaveIndexV2 persists the k-path index to a file in the page-aligned
@@ -230,7 +291,7 @@ func (db *DB) SaveIndex(path string) error {
 // mmap — opening it later costs directory-only work regardless of index
 // size.
 func (db *DB) SaveIndexV2(path string) error {
-	return db.engine.Storage().(indexSaver).SaveV2(path)
+	return db.eng().Storage().(indexSaver).SaveV2(path)
 }
 
 // indexSaver is satisfied by both heap-backed and mapped indexes (a
@@ -276,24 +337,141 @@ func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
 		ExpandStars:      opts.ExpandStars,
 		MaxDisjuncts:     opts.MaxDisjuncts,
 		MaxPathLength:    opts.MaxPathLength,
+		MaxTotalSteps:    opts.MaxTotalSteps,
 	})
 	if err != nil {
 		ix.Close()
 		return nil, err
 	}
-	db := &DB{engine: engine}
-	db.SetDefaultStrategy(StrategyMinSupport)
-	return db, nil
+	return newDB(engine, ix, opts.CompactRatio), nil
 }
 
 // Close releases resources held by the database: for a DB produced by
-// Open this unmaps the index file. It must not be called concurrently
-// with queries. Close on a Build-produced DB is a no-op.
+// Open this unmaps the index file. Close is safe to call concurrently
+// with queries: the mapped index is reader-refcounted, so Close blocks
+// until in-flight queries over it drain, and operations that would
+// still read the mapping afterwards fail with ErrIndexClosed instead
+// of faulting. Note that a Compact (explicit or automatic) folds the
+// index onto the heap — after it, the DB no longer reads the file, so
+// Close merely unmaps it and queries continue to work. Close on a
+// Build-produced DB is a no-op.
 func (db *DB) Close() error {
-	if c, ok := db.engine.Storage().(io.Closer); ok {
-		return c.Close()
+	if db.baseCloser != nil {
+		return db.baseCloser.Close()
 	}
 	return nil
+}
+
+// LabeledEdge is one edge of an update batch: src --label--> dst by
+// name. Names may reference existing nodes and labels or introduce new
+// ones, exactly as Graph.AddEdge.
+type LabeledEdge = graph.LabeledEdge
+
+// ApplyBatch adds a batch of edges to the database without rebuilding
+// the index. The update is computed off-line — a delta of every new
+// length-≤K path the batch completes, joined against the immutable base
+// index — and then published as a new engine snapshot with one atomic
+// pointer swap, so concurrent queries never block and never observe a
+// half-applied batch: a query runs either entirely before or entirely
+// after the swap. Duplicate edges are tolerated and ignored.
+//
+// If the accumulated delta exceeds Options.CompactRatio of the base
+// index, a background compaction is scheduled (see Compact). ApplyBatch
+// calls serialize among themselves; an empty batch is a no-op.
+func (db *DB) ApplyBatch(edges []LabeledEdge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e := db.eng()
+	ne, err := e.ApplyBatch(edges)
+	if err != nil {
+		return err
+	}
+	if ne != e {
+		db.engine.Store(ne)
+		db.batches.Add(1)
+	}
+	db.maybeCompact()
+	return nil
+}
+
+// maybeCompact schedules a background compaction when the current
+// snapshot's delta overlay has outgrown the configured ratio. At most
+// one compaction runs at a time. Called with db.mu held.
+func (db *DB) maybeCompact() {
+	if db.compactRatio < 0 {
+		return
+	}
+	ov, ok := db.eng().Storage().(*pathindex.Overlay)
+	if !ok || ov.DeltaRatio() < db.compactRatio {
+		return
+	}
+	if !db.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer db.compacting.Store(false)
+		// A failed background compaction (e.g. the DB was closed under
+		// it) is dropped; the overlay keeps serving correctly and the
+		// next ApplyBatch re-triggers.
+		_ = db.Compact()
+	}()
+}
+
+// Compact folds the current snapshot's delta overlay into a fresh
+// immutable heap index and atomically swaps the compacted snapshot in,
+// resetting scan cost to one run per path. Queries keep flowing
+// throughout (the fold works on the immutable overlay off-line). It is
+// a no-op when no updates have been applied since the last compaction.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e := db.eng()
+	ne, err := e.Compact()
+	if err != nil {
+		return err
+	}
+	if ne != e {
+		db.engine.Store(ne)
+		db.compactions.Add(1)
+	}
+	return nil
+}
+
+// UpdateStats describes the DB's live-update state.
+type UpdateStats struct {
+	// Epoch is the current snapshot number (0 until the first
+	// ApplyBatch; +1 per applied batch or compaction).
+	Epoch uint64
+	// AppliedBatches and Compactions count completed mutations.
+	AppliedBatches int64
+	Compactions    int64
+	// BaseEntries and DeltaEntries split the current index between the
+	// immutable base and the update overlay (DeltaEntries is 0 right
+	// after a compaction); DeltaRatio is their quotient, compared
+	// against Options.CompactRatio.
+	BaseEntries  int
+	DeltaEntries int
+	DeltaRatio   float64
+}
+
+// UpdateStats returns a snapshot of the live-update state.
+func (db *DB) UpdateStats() UpdateStats {
+	e := db.eng()
+	st := UpdateStats{
+		Epoch:          e.Epoch(),
+		AppliedBatches: db.batches.Load(),
+		Compactions:    db.compactions.Load(),
+		BaseEntries:    e.Storage().NumEntries(),
+	}
+	if ov, ok := e.Storage().(*pathindex.Overlay); ok {
+		st.BaseEntries = ov.BaseEntries()
+		st.DeltaEntries = ov.DeltaEntries()
+		st.DeltaRatio = ov.DeltaRatio()
+	}
+	return st
 }
 
 // MigrateIndex rewrites a saved index file (either format version) as
@@ -328,25 +506,24 @@ func BuildWithIndex(g *Graph, indexPath string, opts Options) (*DB, error) {
 		ExpandStars:      opts.ExpandStars,
 		MaxDisjuncts:     opts.MaxDisjuncts,
 		MaxPathLength:    opts.MaxPathLength,
+		MaxTotalSteps:    opts.MaxTotalSteps,
 	})
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{engine: engine}
-	db.SetDefaultStrategy(StrategyMinSupport)
-	return db, nil
+	return newDB(engine, nil, opts.CompactRatio), nil
 }
 
 // Explain returns the physical execution plan for a query as text.
 func (db *DB) Explain(query string, strategy Strategy) (string, error) {
-	return db.engine.Explain(query, strategy)
+	return db.eng().Explain(query, strategy)
 }
 
-// Graph returns the underlying (frozen) graph.
-func (db *DB) Graph() *Graph { return db.engine.Graph() }
+// Graph returns the underlying (frozen) graph of the current snapshot.
+func (db *DB) Graph() *Graph { return db.eng().Graph() }
 
 // K returns the index locality parameter.
-func (db *DB) K() int { return db.engine.K() }
+func (db *DB) K() int { return db.eng().K() }
 
 // IndexStats describes the built k-path index.
 type IndexStats struct {
@@ -358,7 +535,7 @@ type IndexStats struct {
 
 // IndexStats returns statistics about the index.
 func (db *DB) IndexStats() IndexStats {
-	st := db.engine.Storage().Stats()
+	st := db.eng().Storage().Stats()
 	return IndexStats{
 		Entries:     st.Entries,
 		LabelPaths:  st.LabelPaths,
@@ -379,14 +556,15 @@ func (db *DB) Selectivity(labelPath string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(steps) > db.K() {
-		return 0, fmt.Errorf("pathdb: label path longer than index k=%d", db.K())
+	e := db.eng()
+	if len(steps) > e.K() {
+		return 0, fmt.Errorf("pathdb: label path longer than index k=%d", e.K())
 	}
-	p, ok := pathindex.Resolve(db.Graph(), steps)
+	p, ok := pathindex.Resolve(e.Graph(), steps)
 	if !ok {
 		return 0, nil // unknown labels: empty relation
 	}
-	return db.engine.Histogram().Selectivity(p), nil
+	return e.Histogram().Selectivity(p), nil
 }
 
 // ServeOptions configures DB.Serve.
@@ -399,6 +577,11 @@ type ServeOptions struct {
 	// to a power of two); 0 uses a default of 8. More shards reduce
 	// lock contention between concurrent clients.
 	CacheShards int
+	// NegativeCacheCapacity caps the separate side table of memoized
+	// compile failures, so a stream of distinct failing queries can
+	// never evict hot compiled plans; 0 uses CacheCapacity/8 (minimum
+	// 16) and a negative value disables negative caching.
+	NegativeCacheCapacity int
 }
 
 // CacheStats are the plan cache's counters.
@@ -423,13 +606,17 @@ type Server struct {
 
 // Serve returns a serving front end using the DB's default strategy (as
 // read at this moment) for Query. Multiple servers over one DB are
-// independent, each with its own cache.
+// independent, each with its own cache. Servers track the DB's current
+// snapshot: after ApplyBatch or Compact, new requests run over the new
+// epoch and cached plans compiled against older epochs are recompiled
+// lazily on their next use.
 func (db *DB) Serve(opts ServeOptions) *Server {
 	return &Server{
 		db: db,
-		srv: db.engine.Serve(core.ServeOptions{
-			CacheCapacity: opts.CacheCapacity,
-			CacheShards:   opts.CacheShards,
+		srv: core.NewServer(core.EngineSourceFunc(db.eng), core.ServeOptions{
+			CacheCapacity:         opts.CacheCapacity,
+			CacheShards:           opts.CacheShards,
+			NegativeCacheCapacity: opts.NegativeCacheCapacity,
 		}),
 		strategy: db.DefaultStrategy(),
 	}
@@ -444,13 +631,19 @@ func (s *Server) Query(query string) (*Result, error) {
 // QueryWith evaluates an RPQ under an explicit strategy, using the plan
 // cache.
 func (s *Server) QueryWith(query string, strategy Strategy) (*Result, error) {
-	res, err := s.srv.Query(query, strategy)
+	prep, err := s.srv.Prepare(query, strategy)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.Execute()
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Pairs: res.Pairs,
-		Names: s.db.engine.NamedPairs(res.Pairs),
+		// Name against the snapshot that produced the pairs: a newer
+		// epoch's graph may have more nodes, an older one fewer.
+		Names: prep.Engine().NamedPairs(res.Pairs),
 		Stats: res.Stats,
 	}, nil
 }
