@@ -5,11 +5,11 @@
 //
 // Usage:
 //
-//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open|star|update]
+//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open|star|update|compress]
 //	      [-scale 1.0] [-seed 1] [-runs 3] [-buckets 64]
 //	      [-clients 8] [-servedur 2s] [-serveout BENCH_serve.json]
 //	      [-openout BENCH_open.json] [-starout BENCH_star.json]
-//	      [-updateout BENCH_update.json]
+//	      [-updateout BENCH_update.json] [-compressout BENCH_compress.json]
 //
 // Full scale (-scale 1.0) matches the published Advogato dimensions and
 // takes a few minutes, dominated by the k=3 index build; -scale 0.25
@@ -39,6 +39,13 @@
 // delta-overlay maintenance versus a from-scratch rebuild, query
 // latency over the overlay, and compaction cost — for several batch
 // sizes, and writes the JSON report to -updateout.
+//
+// The compress experiment (also selected implicitly by passing
+// -compressout with -experiment all) measures the block-compressed
+// on-disk format v3 against the uncompressed v2 — file sizes, cold
+// opens, full-workload scan latency over each storage, decompression
+// counters, and answer identity under live updates — and writes the
+// JSON report to -compressout.
 package main
 
 import (
@@ -51,7 +58,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile, serve, open")
+	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile, serve, open, star, update, compress")
 	scale := flag.Float64("scale", 1.0, "Advogato scale factor in (0,1]")
 	seed := flag.Int64("seed", 1, "generator seed")
 	runs := flag.Int("runs", 3, "samples per measurement (median reported)")
@@ -62,6 +69,7 @@ func main() {
 	openout := flag.String("openout", "BENCH_open.json", "open: JSON report output path")
 	starout := flag.String("starout", "BENCH_star.json", "star: JSON report output path")
 	updateout := flag.String("updateout", "BENCH_update.json", "update: JSON report output path")
+	compressout := flag.String("compressout", "BENCH_compress.json", "compress: JSON report output path")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -86,6 +94,7 @@ func main() {
 		wantServe := flagPassed("clients") || flagPassed("servedur") || flagPassed("serveout")
 		wantStar := flagPassed("starout")
 		wantUpdate := flagPassed("updateout")
+		wantCompress := flagPassed("compressout")
 		if wantOpen {
 			die(runOpen(cfg, *openout))
 		}
@@ -98,7 +107,10 @@ func main() {
 		if wantUpdate {
 			die(runUpdate(cfg, *updateout))
 		}
-		if wantOpen || wantServe || wantStar || wantUpdate {
+		if wantCompress {
+			die(runCompress(cfg, *compressout))
+		}
+		if wantOpen || wantServe || wantStar || wantUpdate || wantCompress {
 			return
 		}
 	}
@@ -111,9 +123,23 @@ func main() {
 		die(runStar(cfg, *starout))
 	case "update":
 		die(runUpdate(cfg, *updateout))
+	case "compress":
+		die(runCompress(cfg, *compressout))
 	default:
 		die(run(what, cfg))
 	}
+}
+
+func runCompress(cfg bench.Config, out string) error {
+	_, table, err := bench.RunCompress(cfg, out)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.String())
+	if out != "" {
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
 }
 
 func runUpdate(cfg bench.Config, out string) error {

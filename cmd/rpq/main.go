@@ -8,13 +8,14 @@
 //	rpq -graph FILE [-k 2] [-strategy minSupport] [-buckets 64] \
 //	    (-query RPQ | -explain RPQ | -stats)
 //
-//	rpq build -graph FILE -index FILE [-k 2]
+//	rpq build -graph FILE -index FILE [-k 2] [-format v3]
 //	rpq serve -graph FILE -index FILE [-strategy minSupport] [-limit 20]
 //
 // The build/serve pair exercises the save-once/open-many lifecycle:
-// `build` constructs the k-path index and writes it in the mmap-able
-// format v2; `serve` memory-maps that file — no rebuild, no decode — and
-// answers queries read from stdin, one per line.
+// `build` constructs the k-path index and writes it block-compressed in
+// format v3 (or uncompressed mmap-able v2 with -format v2); `serve`
+// auto-detects the format — mapping v2 zero-copy, decoding v3 block by
+// block on scan — and answers queries read from stdin, one per line.
 //
 // Examples:
 //
@@ -72,15 +73,20 @@ func main() {
 }
 
 // runBuild implements `rpq build`: construct the index once and persist
-// it in format v2 for any number of later `rpq serve` cold starts.
+// it — block-compressed v3 by default, or uncompressed mmap-able v2 —
+// for any number of later `rpq serve` cold starts.
 func runBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "edge-list file (required)")
 	indexPath := fs.String("index", "", "output index file (required)")
 	k := fs.Int("k", 2, "path-index locality parameter")
+	format := fs.String("format", "v3", "index file format: v3 (block-compressed) or v2 (uncompressed mmap)")
 	fs.Parse(args)
 	if *graphPath == "" || *indexPath == "" {
 		return fmt.Errorf("-graph and -index are required")
+	}
+	if *format != "v2" && *format != "v3" {
+		return fmt.Errorf("unknown -format %q (want v2 or v3)", *format)
 	}
 	g, err := pathdb.LoadGraph(*graphPath)
 	if err != nil {
@@ -91,7 +97,11 @@ func runBuild(args []string) error {
 		return err
 	}
 	t0 := time.Now()
-	if err := db.SaveIndexV2(*indexPath); err != nil {
+	save := db.SaveIndexV3
+	if *format == "v2" {
+		save = db.SaveIndexV2
+	}
+	if err := save(*indexPath); err != nil {
 		return err
 	}
 	st := db.IndexStats()
@@ -101,8 +111,9 @@ func runBuild(args []string) error {
 	}
 	fmt.Printf("built k=%d index: %d entries over %d label paths in %.2f ms\n",
 		db.K(), st.Entries, st.LabelPaths, st.BuildMillis)
-	fmt.Printf("wrote %s: %d bytes (format v2) in %.2f ms\n",
-		*indexPath, fi.Size(), float64(time.Since(t0).Microseconds())/1000.0)
+	fmt.Printf("wrote %s: %d bytes (format %s, %.2fx vs raw pairs) in %.2f ms\n",
+		*indexPath, fi.Size(), *format, float64(8*st.Entries)/float64(fi.Size()),
+		float64(time.Since(t0).Microseconds())/1000.0)
 	return nil
 }
 
@@ -111,7 +122,7 @@ func runBuild(args []string) error {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "edge-list file (required)")
-	indexPath := fs.String("index", "", "format-v2 index file from `rpq build` (required)")
+	indexPath := fs.String("index", "", "index file from `rpq build`, format v2 or v3 (required)")
 	strategyName := fs.String("strategy", "minSupport", "naive, semiNaive, minSupport, or minJoin")
 	limit := fs.Int("limit", 20, "maximum result pairs to print per query (0 = all)")
 	fs.Parse(args)

@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// The compress experiment measures the block-compressed on-disk format
+// v3 against the uncompressed zero-copy v2: file sizes (the compression
+// ratio), cold-open cost, full-workload scan latency over each storage
+// (decode-on-scan versus mmap'd slices), the decompression counters the
+// scans accumulate, and answer identity — including after live updates
+// layered over a compressed base.
+
+// CompressPoint is one measured (dataset scale, k) configuration.
+type CompressPoint struct {
+	Scale      float64 `json:"scale"`
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	K          int     `json:"k"`
+	Entries    int     `json:"entries"`
+	LabelPaths int     `json:"label_paths"`
+	V2Bytes    int64   `json:"v2_bytes"`
+	V3Bytes    int64   `json:"v3_bytes"`
+	// RatioVsV2 is V2Bytes/V3Bytes; RatioVsRaw is raw pair payload
+	// (8 bytes per entry) over V3Bytes.
+	RatioVsV2  float64 `json:"ratio_vs_v2"`
+	RatioVsRaw float64 `json:"ratio_vs_raw"`
+	// OpenV2Millis / OpenV3Millis are cold opens (directory-only work
+	// for both formats; v3 additionally parses block directories).
+	OpenV2Millis float64 `json:"open_v2_ms"`
+	OpenV3Millis float64 `json:"open_v3_ms"`
+	// ScanV2Millis / ScanV3Millis evaluate the full non-closure
+	// Advogato workload over each storage (median of summed runs).
+	ScanV2Millis float64 `json:"scan_v2_ms"`
+	ScanV3Millis float64 `json:"scan_v3_ms"`
+	// ScanPenalty is ScanV3Millis/ScanV2Millis — the price of
+	// decode-on-scan relative to zero-copy mmap.
+	ScanPenalty float64 `json:"scan_penalty"`
+	// BlocksDecoded / BytesDecoded are the v3 storage's cumulative
+	// decompression counters after the scan workload.
+	BlocksDecoded int64 `json:"blocks_decoded"`
+	BytesDecoded  int64 `json:"bytes_decoded"`
+	// UpdateAnswersMatch reports the live-update check: ApplyBatch over
+	// the compressed base must answer identically to a from-scratch
+	// rebuild on the updated graph.
+	UpdateAnswersMatch bool `json:"update_answers_match"`
+}
+
+// CompressReport is serialized to BENCH_compress.json by cmd/bench.
+type CompressReport struct {
+	GoVersion string          `json:"go_version"`
+	CPUs      int             `json:"cpus"`
+	Runs      int             `json:"runs"`
+	Points    []CompressPoint `json:"points"`
+	Note      string          `json:"note"`
+}
+
+// compressWorkload is the Advogato workload minus closure classes (the
+// star experiment owns those) restricted to what g can evaluate.
+func compressWorkload(g *graph.Graph) []workload.Query {
+	var out []workload.Query
+	for _, q := range workload.Advogato() {
+		if !skipClosure(g, q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// scanWorkload evaluates every query once over e, returning the total
+// wall time and the per-query answer cardinalities for identity checks.
+func scanWorkload(e *core.Engine, qs []workload.Query) (time.Duration, []int, error) {
+	counts := make([]int, len(qs))
+	start := time.Now()
+	for i, q := range qs {
+		res, err := e.Eval(q.Expr, plan.MinSupport)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bench: %s: %w", q.Name, err)
+		}
+		counts[i] = len(res.Pairs)
+	}
+	return time.Since(start), counts, nil
+}
+
+// RunCompress measures v3 against v2 at several Advogato scales and
+// writes the JSON report to out. Scales are fractions of cfg.Scale so
+// -scale still bounds the experiment's overall size.
+func RunCompress(cfg Config, out string) (*CompressReport, *Table, error) {
+	cfg = cfg.normalize()
+	dir, err := os.MkdirTemp("", "pathdb-compress-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	report := &CompressReport{
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Runs:      cfg.Runs,
+		Note: "ratio_vs_v2 is the on-disk size reduction of delta+varint block compression; " +
+			"scan_penalty is full-workload latency over decode-on-scan v3 relative to zero-copy v2 mmap",
+	}
+	tab := &Table{
+		Title:  "Compressed format v3 vs uncompressed v2",
+		Header: []string{"scale", "entries", "v2 bytes", "v3 bytes", "ratio", "scan v2", "scan v3", "penalty", "blocks dec", "updates"},
+	}
+
+	for _, frac := range []float64{0.25, 0.5, 1.0} {
+		scale := cfg.Scale * frac
+		g := datasets.AdvogatoScaled(cfg.Seed, scale)
+		k := 2
+		ix, err := pathindex.Build(g, k, pathindex.BuildOptions{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: building compress fixture at scale %.2f: %w", scale, err)
+		}
+		v2Path := filepath.Join(dir, fmt.Sprintf("ix-%.2f.v2", scale))
+		v3Path := filepath.Join(dir, fmt.Sprintf("ix-%.2f.v3", scale))
+		if err := ix.SaveV2(v2Path); err != nil {
+			return nil, nil, err
+		}
+		if err := ix.SaveV3(v3Path); err != nil {
+			return nil, nil, err
+		}
+		v2Info, err := os.Stat(v2Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		v3Info, err := os.Stat(v3Path)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		openV2, err := timeIt(cfg.Runs, func() error {
+			s, err := pathindex.OpenStorage(v2Path, g)
+			if err != nil {
+				return err
+			}
+			return s.(*pathindex.MappedIndex).Close()
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		openV3, err := timeIt(cfg.Runs, func() error {
+			s, err := pathindex.OpenStorage(v3Path, g)
+			if err != nil {
+				return err
+			}
+			return s.(*pathindex.CompressedIndex).Close()
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		m, err := pathindex.OpenMapped(v2Path, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := pathindex.OpenCompressed(v3Path, g)
+		if err != nil {
+			m.Close()
+			return nil, nil, err
+		}
+		e2, err := core.NewEngineFromStorage(m, core.Options{K: k, HistogramBuckets: cfg.HistogramBuckets})
+		if err == nil {
+			var e3 *core.Engine
+			e3, err = core.NewEngineFromStorage(c, core.Options{K: k, HistogramBuckets: cfg.HistogramBuckets})
+			if err == nil {
+				err = measureCompressPoint(cfg, report, tab, scale, g, k, ix,
+					v2Info.Size(), v3Info.Size(), openV2, openV3, e2, e3, c)
+			}
+		}
+		m.Close()
+		c.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return nil, nil, err
+		}
+	}
+	return report, tab, nil
+}
+
+// measureCompressPoint runs the scans, identity checks, and update check
+// for one scale, appending the point and its table row.
+func measureCompressPoint(cfg Config, report *CompressReport, tab *Table, scale float64,
+	g *graph.Graph, k int, ix *pathindex.Index, v2Bytes, v3Bytes int64,
+	openV2, openV3 time.Duration, e2, e3 *core.Engine, c *pathindex.CompressedIndex) error {
+	qs := compressWorkload(g)
+
+	var counts2, counts3 []int
+	scan2, err := timeIt(cfg.Runs, func() error {
+		_, counts, err := scanWorkload(e2, qs)
+		counts2 = counts
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	scan3, err := timeIt(cfg.Runs, func() error {
+		_, counts, err := scanWorkload(e3, qs)
+		counts3 = counts
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if !slices.Equal(counts2, counts3) {
+		return fmt.Errorf("bench: compress scale %.2f: v2/v3 answer cardinalities diverge: %v vs %v", scale, counts2, counts3)
+	}
+	blocks, bytes := c.DecodeStats()
+
+	// Live-update identity: a batch applied over the compressed base
+	// (delta overlay) must answer like a from-scratch rebuild on the
+	// updated graph.
+	edges := syntheticEdges(g, 64)
+	e3u, err := e3.ApplyBatch(edges)
+	if err != nil {
+		return err
+	}
+	g2, err := g.ExtendFrozen(edges)
+	if err != nil {
+		return err
+	}
+	eRef, err := core.NewEngine(g2, core.Options{K: k, HistogramBuckets: cfg.HistogramBuckets})
+	if err != nil {
+		return err
+	}
+	updateOK := true
+	for _, q := range qs {
+		got, err := e3u.Eval(q.Expr, plan.MinSupport)
+		if err != nil {
+			return err
+		}
+		want, err := eRef.Eval(q.Expr, plan.MinSupport)
+		if err != nil {
+			return err
+		}
+		if !samePairs(got.Pairs, want.Pairs) {
+			updateOK = false
+			break
+		}
+	}
+
+	st := ix.Stats()
+	pt := CompressPoint{
+		Scale:              scale,
+		Nodes:              g.NumNodes(),
+		Edges:              g.NumEdges(),
+		K:                  k,
+		Entries:            st.Entries,
+		LabelPaths:         st.LabelPaths,
+		V2Bytes:            v2Bytes,
+		V3Bytes:            v3Bytes,
+		RatioVsV2:          float64(v2Bytes) / float64(v3Bytes),
+		RatioVsRaw:         float64(8*st.Entries) / float64(v3Bytes),
+		OpenV2Millis:       ms2(openV2),
+		OpenV3Millis:       ms2(openV3),
+		ScanV2Millis:       ms2(scan2),
+		ScanV3Millis:       ms2(scan3),
+		BlocksDecoded:      blocks,
+		BytesDecoded:       bytes,
+		UpdateAnswersMatch: updateOK,
+	}
+	if pt.ScanV2Millis > 0 {
+		pt.ScanPenalty = pt.ScanV3Millis / pt.ScanV2Millis
+	}
+	report.Points = append(report.Points, pt)
+	updateCell := "match"
+	if !updateOK {
+		updateCell = "DIVERGE"
+	}
+	tab.AddRow(fmt.Sprintf("%.2f", scale), fmt.Sprintf("%d", pt.Entries),
+		fmt.Sprintf("%d", pt.V2Bytes), fmt.Sprintf("%d", pt.V3Bytes),
+		fmt.Sprintf("%.2fx", pt.RatioVsV2),
+		fmt.Sprintf("%.2f", pt.ScanV2Millis), fmt.Sprintf("%.2f", pt.ScanV3Millis),
+		fmt.Sprintf("%.2fx", pt.ScanPenalty),
+		fmt.Sprintf("%d", pt.BlocksDecoded), updateCell)
+	return nil
+}
+
+// syntheticEdges derives a deterministic update batch from g's labels:
+// n new edges connecting existing nodes through a fresh hub node, so the
+// batch both extends existing relations and introduces new paths.
+func syntheticEdges(g *graph.Graph, n int) []graph.LabeledEdge {
+	labels := g.Labels()
+	if len(labels) == 0 {
+		labels = []string{"x"}
+	}
+	nodes := g.NumNodes()
+	if nodes == 0 {
+		nodes = 1
+	}
+	out := make([]graph.LabeledEdge, 0, n)
+	for i := 0; i < n; i++ {
+		src := g.NodeName(graph.NodeID((i * 7919) % nodes))
+		dst := g.NodeName(graph.NodeID((i*104729 + 1) % nodes))
+		out = append(out, graph.LabeledEdge{Src: src, Label: labels[i%len(labels)], Dst: dst})
+	}
+	return out
+}
+
+// samePairs reports set equality of two answer slices (order-free).
+func samePairs(a, b []pathindex.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := slices.Clone(a)
+	bs := slices.Clone(b)
+	cmp := func(x, y pathindex.Pair) int {
+		if x.Src != y.Src {
+			return int(x.Src) - int(y.Src)
+		}
+		return int(x.Dst) - int(y.Dst)
+	}
+	slices.SortFunc(as, cmp)
+	slices.SortFunc(bs, cmp)
+	return slices.Equal(as, bs)
+}

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -32,6 +34,10 @@ type Config struct {
 	Ks []int
 	// HistogramBuckets for the engines (0 = exact statistics).
 	HistogramBuckets int
+	// StarMaxScale caps the Advogato subsample used for the
+	// Kleene-closure classes (Q9, Q10); 0 uses
+	// workload.DefaultStarMaxScale.
+	StarMaxScale float64
 }
 
 // DefaultConfig returns the full-scale configuration used by cmd/bench.
@@ -461,24 +467,47 @@ func Reach(c Config) (*Table, error) {
 
 // ExecProfile records the vectorized executor's runtime profile: per
 // Advogato query under minSupport at the largest k, the result size, the
-// summed intermediate rows and batches over all operators, and the mean
-// rows moved per batch. Batch=1 numbers equal what the pre-vectorization
-// tuple-at-a-time executor paid one interface call apiece for, so this
-// table is the before/after ledger of the batching refactor (the exec
-// micro-benchmarks in BENCH_exec.json hold the isolated operator
-// throughputs).
+// summed intermediate rows and batches over all operators, the mean
+// rows moved per batch, and — since the engine here serves from
+// block-compressed v3 storage — the per-query decompression traffic
+// (blocks and bytes decoded, read from core.Stats). Batch=1 numbers
+// equal what the pre-vectorization tuple-at-a-time executor paid one
+// interface call apiece for, so this table is the before/after ledger
+// of the batching refactor (the exec micro-benchmarks in
+// BENCH_exec.json hold the isolated operator throughputs).
 func ExecProfile(c Config) (*Table, error) {
 	c = c.normalize()
 	g := c.advogato()
 	k := c.Ks[len(c.Ks)-1]
-	e, err := c.engine(g, k, nil)
+	// Serve from compressed v3 storage so the decode counters are live:
+	// the profile then also shows how much of the index each query
+	// actually decompresses.
+	dir, err := os.MkdirTemp("", "pathdb-execprofile-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ix, err := pathindex.Build(g, k, pathindex.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	v3Path := filepath.Join(dir, "ix.v3")
+	if err := ix.SaveV3(v3Path); err != nil {
+		return nil, err
+	}
+	cix, err := pathindex.OpenCompressed(v3Path, g)
+	if err != nil {
+		return nil, err
+	}
+	defer cix.Close()
+	e, err := core.NewEngineFromStorage(cix, core.Options{K: k, HistogramBuckets: c.HistogramBuckets})
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{
-		Title: fmt.Sprintf("Exec profile (minSupport, k=%d): batched operator traffic, %d nodes / %d edges",
+		Title: fmt.Sprintf("Exec profile (minSupport, k=%d, v3 storage): batched operator traffic, %d nodes / %d edges",
 			k, g.NumNodes(), g.NumEdges()),
-		Header: []string{"query", "exec ms", "result pairs", "interm rows", "batches", "rows/batch"},
+		Header: []string{"query", "exec ms", "result pairs", "interm rows", "batches", "rows/batch", "blocks dec", "KB dec"},
 	}
 	var skipped []string
 	for _, q := range workload.Advogato() {
@@ -506,11 +535,14 @@ func ExecProfile(c Config) (*Table, error) {
 			fmt.Sprintf("%d", res.Stats.ResultPairs),
 			fmt.Sprintf("%d", res.Stats.TotalIntermRows),
 			fmt.Sprintf("%d", res.Stats.TotalBatches),
-			fmt.Sprintf("%.0f", rowsPerBatch))
+			fmt.Sprintf("%.0f", rowsPerBatch),
+			fmt.Sprintf("%d", res.Stats.BlocksDecoded),
+			fmt.Sprintf("%.1f", float64(res.Stats.BytesDecoded)/1024.0))
 	}
 	t.Notes = append(t.Notes,
 		"rows/batch is the mean batch fill across the operator tree; the tuple-at-a-time executor moved 1 row per call",
-		fmt.Sprintf("operators move up to %d pairs per NextBatch call", exec.DefaultBatchSize))
+		fmt.Sprintf("operators move up to %d pairs per NextBatch call", exec.DefaultBatchSize),
+		"blocks/KB dec are the v3 block decompressions the query's scans triggered (one decode per touched 4096-pair block)")
 	if len(skipped) > 0 {
 		t.Notes = append(t.Notes, closureSkipNote(skipped))
 	}

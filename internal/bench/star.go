@@ -17,10 +17,15 @@ import (
 // The star experiment records the before/after of making Kleene closure
 // a first-class evaluation construct. For each star query it measures
 // the engine's default routing (reachability index for restricted
-// (l|...)* shapes, fixpoint otherwise), the forced fixpoint, and the
-// legacy n(G)-bounded expansion (core.Options.ExpandStars) — which on
-// the 201-node chain used to take ~580ms for a* and to die with an
-// expansion-limit error for (a|a^-)*.
+// (l|...)* shapes, streamed or fixpoint closure otherwise), the forced
+// streamed closure, the forced materialized fixpoint, and the legacy
+// n(G)-bounded expansion (core.Options.ExpandStars) — which on the
+// 201-node chain used to take ~580ms for a* and to die with an
+// expansion-limit error for (a|a^-)*. Above maxClosureNodes only the
+// default routing and the streamed mode run: the fixture scale was
+// lifted 4x precisely because those two never materialize the
+// accumulated relation, while the fixpoint and the legacy expansion
+// still would.
 
 // StarPoint is one measured (graph, query) pair.
 type StarPoint struct {
@@ -33,16 +38,26 @@ type StarPoint struct {
 	Pairs int `json:"pairs"`
 	// DefaultMillis is the engine's default closure routing.
 	DefaultMillis float64 `json:"default_ms"`
+	// Mode is the closure mode the default engine actually ran, read
+	// off the compiled plan and execution stats: "reach" (reachability
+	// fast path), "streamed" (output-sensitive per-source BFS), or
+	// "fixpoint" (materialized semi-naive iteration).
+	Mode string `json:"mode"`
 	// ReachRouted reports whether the default engine served the query's
 	// closure from the reachability fast path (restricted shape).
 	ReachRouted bool `json:"reach_routed"`
-	// FixpointMillis forces the semi-naive fixpoint operator
-	// (core.Options.NoReachIndex).
+	// StreamedMillis forces the output-sensitive streamed closure
+	// (core.Options.NoReachIndex with streaming left on).
+	StreamedMillis float64 `json:"streamed_ms"`
+	// FixpointMillis forces the materialized semi-naive fixpoint
+	// (core.Options.NoReachIndex + NoStreamClosures); negative when
+	// skipped because the graph exceeds maxClosureNodes.
 	FixpointMillis float64 `json:"fixpoint_ms"`
 	// ExpandMillis is the legacy bounded-expansion evaluation
-	// (core.Options.ExpandStars); negative when it fails.
+	// (core.Options.ExpandStars); negative when it fails or is skipped.
 	ExpandMillis float64 `json:"expand_ms"`
-	// ExpandError is the legacy path's failure, when it has one.
+	// ExpandError is the legacy path's failure (or skip reason), when it
+	// has one.
 	ExpandError string `json:"expand_error,omitempty"`
 	// SpeedupVsExpand is ExpandMillis / DefaultMillis (0 when the
 	// legacy path fails — the speedup is then unbounded).
@@ -69,30 +84,39 @@ func chainGraph(n int) *graph.Graph {
 	return g
 }
 
-// starEngines builds the three engine variants over one graph.
-func starEngines(g *graph.Graph, buckets int) (def, fix, expand *core.Engine, err error) {
+// starEngines builds the four engine variants over one graph: default
+// routing, forced streamed closure, forced materialized fixpoint, and
+// legacy bounded expansion.
+func starEngines(g *graph.Graph, buckets int) (def, stream, fix, expand *core.Engine, err error) {
 	if def, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets}); err != nil {
 		return
 	}
-	if fix, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets, NoReachIndex: true}); err != nil {
+	if stream, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets, NoReachIndex: true}); err != nil {
+		return
+	}
+	if fix, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets, NoReachIndex: true, NoStreamClosures: true}); err != nil {
 		return
 	}
 	expand, err = core.NewEngine(g, core.Options{K: 2, HistogramBuckets: buckets, ExpandStars: true})
 	return
 }
 
-// measureStar fills one StarPoint for query over the engine triple.
-func measureStar(c Config, name string, g *graph.Graph, def, fix, expand *core.Engine, qtext string) (StarPoint, error) {
+// measureStar fills one StarPoint for query over the engine variants.
+// The materializing engines (forced fixpoint, legacy expansion) are
+// skipped above maxClosureNodes — the whole point of the larger fixture
+// is that only the output-sensitive modes remain feasible there.
+func measureStar(c Config, name string, g *graph.Graph, def, stream, fix, expand *core.Engine, qtext string) (StarPoint, error) {
 	expr := rpq.MustParse(qtext)
 	pt := StarPoint{Graph: name, Nodes: g.NumNodes(), Edges: g.NumEdges(), Query: qtext}
 
-	var pairs int
+	var pairs, streamed int
 	d, err := timeIt(c.Runs, func() error {
 		res, err := def.Eval(expr, plan.MinSupport)
 		if err != nil {
 			return err
 		}
 		pairs = len(res.Pairs)
+		streamed = res.Stats.StreamedClosures
 		return nil
 	})
 	if err != nil {
@@ -102,7 +126,8 @@ func measureStar(c Config, name string, g *graph.Graph, def, fix, expand *core.E
 	pt.DefaultMillis = ms2(d)
 	// Report the routing the default engine actually chose, read off
 	// the compiled plan (reachability.CanHandle can disagree with the
-	// planner on edge cases like unions mentioning absent labels).
+	// planner on edge cases like unions mentioning absent labels) and
+	// the execution stats (the streamed-closure counter).
 	prep, err := def.Compile(expr, plan.MinSupport)
 	if err != nil {
 		return pt, err
@@ -111,6 +136,36 @@ func measureStar(c Config, name string, g *graph.Graph, def, fix, expand *core.E
 		if _, ok := dj.(*plan.Reach); ok {
 			pt.ReachRouted = true
 		}
+	}
+	switch {
+	case pt.ReachRouted:
+		pt.Mode = "reach"
+	case streamed > 0:
+		pt.Mode = "streamed"
+	default:
+		pt.Mode = "fixpoint"
+	}
+
+	d, err = timeIt(c.Runs, func() error {
+		res, err := stream.Eval(expr, plan.MinSupport)
+		if err != nil {
+			return err
+		}
+		if len(res.Pairs) != pairs {
+			return fmt.Errorf("streamed answer has %d pairs, default %d", len(res.Pairs), pairs)
+		}
+		return nil
+	})
+	if err != nil {
+		return pt, fmt.Errorf("bench: streamed eval of %q: %w", qtext, err)
+	}
+	pt.StreamedMillis = ms2(d)
+
+	if g.NumNodes() > maxClosureNodes {
+		pt.FixpointMillis = -1
+		pt.ExpandMillis = -1
+		pt.ExpandError = "skipped: graph above materialized-closure cap"
+		return pt, nil
 	}
 
 	d, err = timeIt(c.Runs, func() error {
@@ -156,8 +211,9 @@ func RunStar(cfg Config, out string) (*StarReport, *Table, error) {
 		queries []string
 	}
 	chain := chainGraph(201)
-	// Closure answers are quadratic in component size, so the Advogato
-	// fixture is capped like the Ext-4 reachability experiment's.
+	// Closure answers are quadratic in component size; the Advogato
+	// fixture is capped, but at 4x the nodes of the materialized-only
+	// era — streamed evaluation holds only one source's frontier.
 	adv := AdvogatoStarScale(cfg)
 	g := datasets.AdvogatoScaled(cfg.Seed, adv)
 	var advQueries []string
@@ -173,33 +229,38 @@ func RunStar(cfg Config, out string) (*StarReport, *Table, error) {
 
 	tab := &Table{
 		Title:  "Star queries: closure evaluation vs legacy bounded expansion (ms)",
-		Header: []string{"graph", "query", "pairs", "default", "fixpoint", "expand", "speedup"},
+		Header: []string{"graph", "query", "pairs", "mode", "default", "streamed", "fixpoint", "expand", "speedup"},
 	}
 	for _, f := range fixtures {
-		def, fix, expand, err := starEngines(f.g, cfg.HistogramBuckets)
+		def, stream, fix, expand, err := starEngines(f.g, cfg.HistogramBuckets)
 		if err != nil {
 			return nil, nil, err
 		}
 		for _, q := range f.queries {
-			pt, err := measureStar(cfg, f.name, f.g, def, fix, expand, q)
+			pt, err := measureStar(cfg, f.name, f.g, def, stream, fix, expand, q)
 			if err != nil {
 				return nil, nil, err
 			}
 			report.Points = append(report.Points, pt)
+			fixCell := fmt.Sprintf("%.2f", pt.FixpointMillis)
+			if pt.FixpointMillis < 0 {
+				fixCell = "skipped"
+			}
 			expandCell := fmt.Sprintf("%.2f", pt.ExpandMillis)
 			speedupCell := fmt.Sprintf("%.0fx", pt.SpeedupVsExpand)
 			if pt.ExpandMillis < 0 {
 				expandCell = "n/a (" + shortErr(pt.ExpandError) + ")"
 				speedupCell = "inf"
 			}
-			tab.AddRow(f.name, q, fmt.Sprintf("%d", pt.Pairs),
+			tab.AddRow(f.name, q, fmt.Sprintf("%d", pt.Pairs), pt.Mode,
 				fmt.Sprintf("%.2f", pt.DefaultMillis),
-				fmt.Sprintf("%.2f", pt.FixpointMillis),
-				expandCell, speedupCell)
+				fmt.Sprintf("%.2f", pt.StreamedMillis),
+				fixCell, expandCell, speedupCell)
 		}
 	}
 	tab.Notes = append(tab.Notes,
-		"default routes restricted (l|...)* shapes to a cached reachability index and everything else to the fixpoint operator",
+		"mode is the default engine's closure routing: reach (restricted (l|...)* via reachability index), streamed (output-sensitive per-source BFS), or fixpoint (materialized)",
+		"streamed forces the output-sensitive closure; fixpoint forces materialized semi-naive iteration (skipped above the closure-node cap)",
 		"expand is the legacy n(G)-bounded star expansion (core.Options.ExpandStars), the pre-closure behavior")
 
 	if out != "" {
@@ -216,8 +277,12 @@ func RunStar(cfg Config, out string) (*StarReport, *Table, error) {
 
 // AdvogatoStarScale caps the Advogato fixture for closure experiments:
 // star answers are quadratic in SCC size, so the full-scale graph is
-// never used directly.
-func AdvogatoStarScale(cfg Config) float64 { return minF(cfg.normalize().Scale, 0.1) }
+// never used directly. The cap itself lives with the workload
+// (workload.DefaultStarMaxScale) and is overridable per Config.
+func AdvogatoStarScale(cfg Config) float64 {
+	c := cfg.normalize()
+	return workload.StarScale(c.Scale, c.StarMaxScale)
+}
 
 // shortErr truncates an error string for table cells.
 func shortErr(s string) string {

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/rpq"
+)
+
+// TestDifferentialHeapV2V3 is the storage-format differential for the
+// block-compressed format: engines over heap storage, the mapped v2
+// file, and the compressed v3 file must return identical answers for
+// random RPQs — closures included — across all four strategies,
+// EvalFrom, and ExecuteParallel (checkEnginesAgree covers them all).
+// Streamed closure evaluation is likewise pinned against the forced
+// materialized fixpoint.
+func TestDifferentialHeapV2V3(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	g := randomGraph(rand.New(rand.NewSource(41)), 35, 100, labels)
+	heap := newTestEngine(t, g, 2)
+
+	dir := t.TempDir()
+	v2Path := filepath.Join(dir, "diff.v2")
+	v3Path := filepath.Join(dir, "diff.v3")
+	if err := heap.Storage().(*pathindex.Index).SaveV2(v2Path); err != nil {
+		t.Fatal(err)
+	}
+	if err := heap.Storage().(*pathindex.Index).SaveV3(v3Path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pathindex.OpenMapped(v2Path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c, err := pathindex.OpenCompressed(v3Path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v2Eng, err := NewEngineFromStorage(m, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3Eng, err := NewEngineFromStorage(c, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forced-materialized engine pins streamed closures (on by
+	// default in all engines above) against the fixpoint.
+	matEng, err := NewEngine(g, Options{K: 2, NoStreamClosures: true, NoReachIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixed := []string{"a", "a/b", "a|b/c", "a^-/b", "(a|b){1,2}", "a*", "(a|b^-)*", "a/(b|c)*", "c?/a+"}
+	for _, q := range fixed {
+		expr := rpq.MustParse(q)
+		checkEnginesAgree(t, v2Eng, heap, expr)
+		checkEnginesAgree(t, v3Eng, heap, expr)
+		checkEnginesAgree(t, matEng, heap, expr)
+	}
+
+	r := rand.New(rand.NewSource(42))
+	genOpts := rpq.DefaultGenOptions(labels)
+	genOpts.AllowUnbounded = true
+	checked := 0
+	for i := 0; i < 30; i++ {
+		expr := rpq.Generate(r, genOpts)
+		if checkEnginesAgree(t, v2Eng, heap, expr) &&
+			checkEnginesAgree(t, v3Eng, heap, expr) &&
+			checkEnginesAgree(t, matEng, heap, expr) {
+			checked++
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d random queries were checkable; generator or limits changed?", checked)
+	}
+
+	// The compressed engine must actually have decoded blocks to answer,
+	// and report it per query.
+	res, err := v3Eng.Eval(rpq.MustParse("a/b"), plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlocksDecoded == 0 || res.Stats.BytesDecoded == 0 {
+		t.Errorf("v3 query Stats report (%d blocks, %d bytes) decoded, want non-zero",
+			res.Stats.BlocksDecoded, res.Stats.BytesDecoded)
+	}
+	if res, err := heap.Eval(rpq.MustParse("a/b"), plan.MinSupport); err != nil {
+		t.Fatal(err)
+	} else if res.Stats.BlocksDecoded != 0 {
+		t.Errorf("heap query claims %d blocks decoded", res.Stats.BlocksDecoded)
+	}
+}
+
+// TestUpdateOverCompressedStorage runs the live-update differential over
+// a compressed v3 base: ApplyBatch over the decode-on-scan storage (the
+// overlay merges uncompressed deltas with compressed base blocks) and a
+// subsequent Compact must answer like a from-scratch rebuild, and Close
+// under an updated snapshot must fail queries with ErrClosed rather
+// than fault.
+func TestUpdateOverCompressedStorage(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	base, full, batches := splitGraph(r, 25, 70, []string{"a", "b"}, 2)
+	heapEng := newTestEngine(t, base, 2)
+	path := filepath.Join(t.TempDir(), "base.v3")
+	if err := heapEng.Storage().(*pathindex.Index).SaveV3(path); err != nil {
+		t.Fatal(err)
+	}
+	c, err := pathindex.OpenCompressed(path, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cEng, err := NewEngineFromStorage(c, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := newTestEngine(t, full, 2)
+	updated := applyAll(t, cEng, batches)
+	if _, isOverlay := updated.Storage().(*pathindex.Overlay); !isOverlay {
+		t.Fatalf("ApplyBatch over compressed storage produced %T, want overlay", updated.Storage())
+	}
+	queries := []string{"a", "a/b", "a|b", "a*", "(a|b)*", "a/b^-", "a/(b)*"}
+	for _, q := range queries {
+		checkEnginesAgree(t, updated, oracle, rpq.MustParse(q))
+	}
+	compacted, err := updated.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		checkEnginesAgree(t, compacted, oracle, rpq.MustParse(q))
+	}
+	// The un-compacted snapshot still scans compressed base blocks, so
+	// it pins the mapping: a query racing Close either completes or
+	// fails with ErrClosed — never faults.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := updated.Eval(rpq.MustParse("a/b"), plan.MinSupport); !errors.Is(err, pathindex.ErrClosed) {
+		t.Fatalf("query after Close returned %v, want ErrClosed", err)
+	}
+	// The compacted snapshot folded everything onto the heap and must
+	// survive the base's Close.
+	if _, err := compacted.Eval(rpq.MustParse("a/b"), plan.MinSupport); err != nil {
+		t.Fatalf("compacted snapshot failed after base Close: %v", err)
+	}
+}
+
+// TestStreamedClosureStats verifies the planner's mode choice is
+// observable: a pure star on a reach-disabled engine streams (and says
+// so in Stats and Explain), and NoStreamClosures forces it back to the
+// materialized fixpoint.
+func TestStreamedClosureStats(t *testing.T) {
+	g := chainTestGraph(t, 30)
+	streamed, err := NewEngine(g, Options{K: 2, NoReachIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := NewEngine(g, Options{K: 2, NoReachIndex: true, NoStreamClosures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := streamed.Eval(rpq.MustParse("a*"), plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StreamedClosures == 0 {
+		t.Error("reach-disabled a* reports no streamed closures")
+	}
+	resMat, err := mat.Eval(rpq.MustParse("a*"), plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMat.Stats.StreamedClosures != 0 {
+		t.Errorf("NoStreamClosures engine reports %d streamed closures", resMat.Stats.StreamedClosures)
+	}
+	if len(res.Pairs) != len(resMat.Pairs) {
+		t.Fatalf("streamed a* returned %d pairs, fixpoint %d", len(res.Pairs), len(resMat.Pairs))
+	}
+}

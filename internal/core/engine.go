@@ -77,6 +77,11 @@ type Options struct {
 	// restricted closures (ℓ1|…|ℓm)*, forcing the general fixpoint
 	// operator (ablation).
 	NoReachIndex bool
+	// NoStreamClosures disables the output-sensitive streaming closure
+	// mode, forcing every Closure node to the pair-materializing fixpoint
+	// (ablation and differential testing). By default the planner streams
+	// closures whose estimated output dwarfs their touched-edge count.
+	NoStreamClosures bool
 	// MaxDisjuncts, MaxPathLength, and MaxTotalSteps bound query
 	// expansion; 0 uses the rewrite package defaults. MaxTotalSteps caps
 	// the summed size of all expanded disjuncts, which is what actually
@@ -230,24 +235,32 @@ func (e *Engine) pin() (func(), error) {
 
 // Stats describes one query evaluation.
 type Stats struct {
-	Disjuncts       int           // label-path disjuncts after rewriting
-	Closures        int           // Kleene-closure disjuncts after rewriting
-	DroppedEmpty    int           // disjuncts dropped (labels absent from the graph)
-	HasEpsilon      bool          // identity disjunct present
-	PlanCost        float64       // estimated plan cost
-	PlanCard        float64       // estimated result cardinality
-	RewriteTime     time.Duration //
-	PlanTime        time.Duration //
-	ExecTime        time.Duration //
-	ResultPairs     int           // actual result cardinality
-	OperatorRows    map[string]int
-	OperatorBatches map[string]int // batches emitted, by operator kind
-	TotalIntermRows int            // summed rows over all operators
+	Disjuncts        int           // label-path disjuncts after rewriting
+	Closures         int           // Kleene-closure disjuncts after rewriting
+	StreamedClosures int           // closure nodes the planner marked for streaming evaluation
+	DroppedEmpty     int           // disjuncts dropped (labels absent from the graph)
+	HasEpsilon       bool          // identity disjunct present
+	PlanCost         float64       // estimated plan cost
+	PlanCard         float64       // estimated result cardinality
+	RewriteTime      time.Duration //
+	PlanTime         time.Duration //
+	ExecTime         time.Duration //
+	ResultPairs      int           // actual result cardinality
+	OperatorRows     map[string]int
+	OperatorBatches  map[string]int // batches emitted, by operator kind
+	TotalIntermRows  int            // summed rows over all operators
 	// TotalBatches is the summed batches over all operators. Under
 	// ExecuteParallel, which omits per-operator statistics, it instead
 	// counts the batches merged at the top level — do not compare the
 	// two directly.
 	TotalBatches int
+	// BlocksDecoded and BytesDecoded count the compressed-storage decode
+	// work of this evaluation (zero over uncompressed storage): on-disk
+	// blocks decompressed and compressed bytes consumed. They are deltas
+	// of storage-lifetime counters, so under concurrent evaluations the
+	// attribution to one query is approximate; totals are exact.
+	BlocksDecoded int64
+	BytesDecoded  int64
 	// CacheHit reports that the query's plan was served from a Server's
 	// plan cache; PlanTime is then zero (planning was not repeated) and
 	// RewriteTime covers only rewrite work this request actually did —
@@ -354,6 +367,9 @@ func (e *Engine) resolveSeq(s rewrite.Seq) (plan.Seq, bool) {
 		}
 		out.Elems = append(out.Elems, plan.SeqElem{Star: body})
 	}
+	// Carry the rewriter's closure-mode hint when the resolved shape is
+	// still a bare star (resolution can only have dropped elements).
+	out.Pure = s.PureStar() && len(out.Elems) == 1 && out.Elems[0].IsStar()
 	return out, true
 }
 
@@ -410,11 +426,12 @@ func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st S
 	st.HasEpsilon = hasEpsilon
 
 	planner := &plan.Planner{
-		K:            e.opts.K,
-		Hist:         e.hist,
-		NumNodes:     e.g.NumNodes(),
-		HashOnly:     e.opts.HashOnly,
-		NoReachIndex: e.opts.NoReachIndex,
+		K:              e.opts.K,
+		Hist:           e.hist,
+		NumNodes:       e.g.NumNodes(),
+		HashOnly:       e.opts.HashOnly,
+		NoReachIndex:   e.opts.NoReachIndex,
+		StreamClosures: !e.opts.NoStreamClosures,
 	}
 	pln, err := planner.PlanQuery(disjuncts, closures, hasEpsilon, strategy)
 	if err != nil {
@@ -423,7 +440,33 @@ func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st S
 	st.PlanTime = time.Since(t1)
 	st.PlanCost = pln.Cost()
 	st.PlanCard = pln.Card()
+	for _, d := range pln.Disjuncts {
+		st.StreamedClosures += countStreamed(d)
+	}
 	return &Prepared{engine: e, plan: pln, stats: st, strategy: strategy}, nil
+}
+
+// countStreamed counts the Closure nodes marked Streamed in a subtree —
+// the Stats evidence of which closure mode the planner chose.
+func countStreamed(n plan.Node) int {
+	switch v := n.(type) {
+	case *plan.Join:
+		return countStreamed(v.Left) + countStreamed(v.Right)
+	case *plan.Closure:
+		total := 0
+		if v.Streamed {
+			total = 1
+		}
+		if v.Input != nil {
+			total += countStreamed(v.Input)
+		}
+		for _, b := range v.Body {
+			total += countStreamed(b)
+		}
+		return total
+	default:
+		return 0
+	}
 }
 
 // Plan returns the physical plan.
@@ -446,6 +489,11 @@ func (p *Prepared) Execute() (*Result, error) {
 		return nil, err
 	}
 	defer unpin()
+	dec, hasDec := p.engine.ix.(decodeStatsProvider)
+	var blocks0, bytes0 int64
+	if hasDec {
+		blocks0, bytes0 = dec.DecodeStats()
+	}
 	t0 := time.Now()
 	op, err := exec.Build(p.plan, p.engine.ix, exec.BuildOptions{
 		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
@@ -463,7 +511,19 @@ func (p *Prepared) Execute() (*Result, error) {
 	st.OperatorBatches = es.BatchesByOperator
 	st.TotalIntermRows = es.TotalRows
 	st.TotalBatches = es.TotalBatches
+	if hasDec {
+		blocks1, bytes1 := dec.DecodeStats()
+		st.BlocksDecoded = blocks1 - blocks0
+		st.BytesDecoded = bytes1 - bytes0
+	}
 	return &Result{Pairs: pairs, Stats: st}, nil
+}
+
+// decodeStatsProvider is the optional storage interface of compressed
+// indexes (and overlays over them): storage-lifetime decompression
+// counters, read before and after an evaluation to attribute decode work.
+type decodeStatsProvider interface {
+	DecodeStats() (blocks, bytes int64)
 }
 
 // Eval compiles and executes expr under the given strategy.

@@ -227,7 +227,22 @@ func TestExplainClosureNodes(t *testing.T) {
 	if !contains(out, "reach-scan") {
 		t.Errorf("default Explain of a* lacks reach-scan:\n%s", out)
 	}
+	// Without the reachability fast path, a bare star is a pure closure
+	// — the planner streams it by default.
 	out, err = fix.Explain("a*", plan.MinSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "closure [streamed]") || !contains(out, "identity (ε)") {
+		t.Errorf("Explain of a* without reach index lacks streamed closure node:\n%s", out)
+	}
+	// With streaming disabled the same closure falls back to the
+	// fixpoint and Explain says so.
+	fp, err := NewEngine(fix.Graph(), Options{K: 2, NoReachIndex: true, NoStreamClosures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = fp.Explain("a*", plan.MinSupport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +253,7 @@ func TestExplainClosureNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !contains(out, "closure [fixpoint]") || !contains(out, "input: scan") {
+	if !contains(out, "closure [") || !contains(out, "input: scan") {
 		t.Errorf("Explain of a/(a)* lacks closure with scan input:\n%s", out)
 	}
 }

@@ -7,6 +7,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/reachability"
@@ -180,6 +181,147 @@ func (c *Closure) Batches() int { return c.batches }
 // Name implements Operator.
 func (c *Closure) Name() string { return "closure" }
 
+// StreamClosure computes the same relation as Closure —
+// input ∘ body* — output-sensitively: instead of accumulating every
+// discovered pair in one seen-set (O(output) memory, quadratic in the
+// graph for dense closures), it groups the input pairs by source and
+// runs one per-source BFS over the materialized body adjacency, emitting
+// (source, reached) pairs batch-at-a-time straight from the BFS queue.
+// A visited array with epoch stamping (no per-source clearing) makes
+// each BFS O(reached + edges touched), so peak memory is
+// O(input + body + n(G) + batch) — bounded by the graph, never by the
+// output. The output is duplicate-free (each source's reach set is
+// enumerated once, sources are distinct groups) but carries no order.
+type StreamClosure struct {
+	input Operator
+	body  Operator
+
+	adj     map[graph.NodeID][]graph.NodeID
+	seeds   []Pair // input pairs sorted by (src, dst)
+	si      int    // cursor: start of the next source group
+	started bool
+	done    bool
+
+	visited []uint32 // node -> epoch of the BFS that last reached it
+	epoch   uint32
+	queue   []graph.NodeID
+	qi      int // emission/expansion cursor into queue
+	curSrc  graph.NodeID
+
+	sources int
+	rows    int
+	batches int
+}
+
+// NewStreamClosure returns a streaming closure of body applied to input
+// over a graph of numNodes nodes.
+func NewStreamClosure(input, body Operator, numNodes int) *StreamClosure {
+	return &StreamClosure{input: input, body: body, visited: make([]uint32, numNodes)}
+}
+
+func (c *StreamClosure) children() []Operator { return []Operator{c.input, c.body} }
+
+// start drains the input into source-grouped seeds and the body into the
+// adjacency table.
+func (c *StreamClosure) start() {
+	buf := make([]Pair, DefaultBatchSize)
+	for {
+		n := c.input.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		c.seeds = append(c.seeds, buf[:n]...)
+	}
+	sort.Slice(c.seeds, func(i, j int) bool {
+		if c.seeds[i].Src != c.seeds[j].Src {
+			return c.seeds[i].Src < c.seeds[j].Src
+		}
+		return c.seeds[i].Dst < c.seeds[j].Dst
+	})
+	if len(c.seeds) > 0 {
+		c.adj = map[graph.NodeID][]graph.NodeID{}
+		for {
+			n := c.body.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			for _, pr := range buf[:n] {
+				c.adj[pr.Src] = append(c.adj[pr.Src], pr.Dst)
+			}
+		}
+	}
+	c.started = true
+}
+
+// nextSource seeds the BFS of the next source group, reporting false
+// when every group is exhausted.
+func (c *StreamClosure) nextSource() bool {
+	if c.si >= len(c.seeds) {
+		return false
+	}
+	c.curSrc = c.seeds[c.si].Src
+	c.epoch++
+	c.queue = c.queue[:0]
+	c.qi = 0
+	for ; c.si < len(c.seeds) && c.seeds[c.si].Src == c.curSrc; c.si++ {
+		t := c.seeds[c.si].Dst
+		if int(t) < len(c.visited) && c.visited[t] != c.epoch {
+			c.visited[t] = c.epoch
+			c.queue = append(c.queue, t)
+		}
+	}
+	c.sources++
+	return true
+}
+
+// NextBatch implements Operator.
+func (c *StreamClosure) NextBatch(buf []Pair) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	if !c.started {
+		c.start()
+	}
+	n := 0
+	for n < len(buf) {
+		if c.qi >= len(c.queue) {
+			if c.done || !c.nextSource() {
+				c.done = true
+				break
+			}
+			continue
+		}
+		u := c.queue[c.qi]
+		c.qi++
+		buf[n] = Pair{Src: c.curSrc, Dst: u}
+		n++
+		for _, v := range c.adj[u] {
+			if int(v) < len(c.visited) && c.visited[v] != c.epoch {
+				c.visited[v] = c.epoch
+				c.queue = append(c.queue, v)
+			}
+		}
+	}
+	c.rows += n
+	if n > 0 {
+		c.batches++
+	}
+	return n
+}
+
+// Sources returns the number of per-source BFS traversals completed or
+// in progress.
+func (c *StreamClosure) Sources() int { return c.sources }
+
+// Rows implements Operator.
+func (c *StreamClosure) Rows() int { return c.rows }
+
+// Batches implements Operator.
+func (c *StreamClosure) Batches() int { return c.batches }
+
+// Name implements Operator.
+func (c *StreamClosure) Name() string { return "closure-stream" }
+
 // ReachScan streams the restricted closure (ℓ1|…|ℓm)* from a
 // reachability index: SCC condensation plus descendant bitsets make
 // every pair an O(1) bitset probe, and enumeration is linear in the
@@ -219,13 +361,18 @@ func (s *ReachScan) Name() string { return "reach-scan" }
 
 // buildClosure translates a Closure plan node: a nil input becomes the
 // identity scan (pure star), and the body union is wrapped in a
-// Distinct so repeated body pairs are materialized once.
-func buildClosure(input Operator, body []Operator, batchSize int) Operator {
+// Distinct so repeated body pairs are materialized once. streamed
+// selects the output-sensitive per-source BFS operator over the
+// pair-materializing fixpoint.
+func buildClosure(input Operator, body []Operator, batchSize int, streamed bool, numNodes int) Operator {
 	var b Operator
 	if len(body) == 1 {
 		b = NewDistinctSized(body[0], batchSize)
 	} else {
 		b = NewUnionDistinctSized(body, batchSize)
+	}
+	if streamed {
+		return NewStreamClosure(input, b, numNodes)
 	}
 	return NewClosureSized(input, b, batchSize)
 }

@@ -110,6 +110,14 @@ func Build(p *plan.Plan, ix pathindex.Storage, opts BuildOptions) (Operator, err
 		}
 		ops = append(ops, op)
 	}
+	// A lone streamed closure is already duplicate-free; wrapping it in
+	// the deduplicating union would re-materialize the O(output) seen-set
+	// the streaming mode exists to avoid.
+	if len(ops) == 1 {
+		if sc, ok := ops[0].(*StreamClosure); ok {
+			return sc, nil
+		}
+	}
 	return NewUnionDistinctSized(ops, opts.batchSize()), nil
 }
 
@@ -156,7 +164,7 @@ func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, 
 			}
 			body[i] = op
 		}
-		return buildClosure(input, body, opts.batchSize()), nil
+		return buildClosure(input, body, opts.batchSize(), v.Streamed, ix.Graph().NumNodes()), nil
 	case *plan.Reach:
 		if opts.Reach == nil {
 			return nil, errNoReachProvider
@@ -208,24 +216,41 @@ type IndexScan struct {
 	batches int
 }
 
-// runPairProvider is the optional storage interface of delta-overlay
-// indexes (pathindex.Overlay): a relation split into a base run and a
-// disjoint delta run, both sorted. Scans over such storage merge the two
-// at scan time instead of materializing the union.
+// runBlocksProvider is the optional storage interface of delta-overlay
+// indexes (pathindex.Overlay): a relation split into a base-run block
+// iterator and a disjoint sorted delta run. Scans over such storage
+// merge the two at scan time instead of materializing the union, and
+// because the base arrives block-wise, a block-compressed base decodes
+// on scan instead of eagerly.
+type runBlocksProvider interface {
+	RunBlocks(p pathindex.Path) (base *pathindex.BlockIterator, delta []pathindex.Packed)
+}
+
+// runPairProvider is the flat-slice predecessor of runBlocksProvider,
+// kept as a fallback for storages that expose split runs but no block
+// iterator.
 type runPairProvider interface {
 	RunPair(p pathindex.Path) (base, delta []pathindex.Packed)
 }
 
 // newSegmentScan builds the scan operator for one segment: a plain
-// IndexScan over single-run storage, or a MergeUnionScan when the
-// storage carries a non-empty delta run for the (possibly inverted)
+// IndexScan over single-run storage (which decodes block-by-block over
+// compressed storage, via Storage.Blocks), or a merge-union scan when
+// the storage carries a non-empty delta run for the (possibly inverted)
 // physical path.
 func newSegmentScan(ix pathindex.Storage, segment pathindex.Path, inverted bool) Operator {
-	if rp, ok := ix.(runPairProvider); ok {
-		p := segment
-		if inverted {
-			p = segment.Inverse()
+	p := segment
+	if inverted {
+		p = segment.Inverse()
+	}
+	if rb, ok := ix.(runBlocksProvider); ok {
+		base, delta := rb.RunBlocks(p)
+		if len(delta) > 0 {
+			return NewMergeUnionBlockScan(base, delta, inverted)
 		}
+		return NewIndexScanBlocks(base, inverted)
+	}
+	if rp, ok := ix.(runPairProvider); ok {
 		if base, delta := rp.RunPair(p); len(delta) > 0 {
 			return NewMergeUnionScan(base, delta, inverted)
 		}
@@ -240,6 +265,13 @@ func NewIndexScan(ix pathindex.Storage, segment pathindex.Path, inverted bool) *
 		p = segment.Inverse()
 	}
 	return &IndexScan{blocks: ix.Blocks(p), swap: inverted}
+}
+
+// NewIndexScanBlocks returns a scan over an explicit block iterator
+// (already positioned on the physical — possibly inverse — path); swap
+// selects target order.
+func NewIndexScanBlocks(blocks *pathindex.BlockIterator, swap bool) *IndexScan {
+	return &IndexScan{blocks: blocks, swap: swap}
 }
 
 // NextBatch implements Operator.
@@ -299,6 +331,7 @@ func (s *IndexScan) Name() string { return "index-scan" }
 type MergeUnionScan struct {
 	base, delta []pathindex.Packed
 	i, j        int
+	blocks      *pathindex.BlockIterator // non-nil: base arrives block-wise
 	swap        bool
 	rows        int
 	batches     int
@@ -312,10 +345,32 @@ func NewMergeUnionScan(base, delta []pathindex.Packed, swap bool) *MergeUnionSca
 	return &MergeUnionScan{base: base, delta: delta, swap: swap}
 }
 
+// NewMergeUnionBlockScan returns a merge-union scan whose base run is
+// pulled from a block iterator — over compressed storage each base
+// block is decoded only as the merge reaches it. The delta run is a
+// sorted slice as in NewMergeUnionScan.
+func NewMergeUnionBlockScan(blocks *pathindex.BlockIterator, delta []pathindex.Packed, swap bool) *MergeUnionScan {
+	return &MergeUnionScan{blocks: blocks, delta: delta, swap: swap}
+}
+
+// fillBase ensures the base cursor points at base pairs if any remain,
+// pulling the next block in block mode. (Decoded blocks are valid until
+// the next pull, and the merge fully consumes one before advancing.)
+func (s *MergeUnionScan) fillBase() {
+	for s.i == len(s.base) && s.blocks != nil {
+		s.base = s.blocks.Next()
+		s.i = 0
+		if len(s.base) == 0 {
+			s.blocks = nil
+		}
+	}
+}
+
 // NextBatch implements Operator.
 func (s *MergeUnionScan) NextBatch(buf []Pair) int {
 	n := 0
 	for n < len(buf) {
+		s.fillBase()
 		var pr pathindex.Packed
 		switch {
 		case s.i < len(s.base) && (s.j >= len(s.delta) || s.base[s.i] < s.delta[s.j]):

@@ -184,14 +184,15 @@ func (ix *Index) SaveV2(path string) error {
 	return f.Close()
 }
 
-// Migrate rewrites a saved index file (either format) as format v2 at
-// dst. g must be the graph the index was built from, exactly as for Load.
+// Migrate rewrites a saved index file (any format version) as the
+// current serving format — v3, block-compressed — at dst. g must be the
+// graph the index was built from, exactly as for Load.
 func Migrate(src, dst string, g *graph.Graph) error {
 	ix, err := Load(src, g)
 	if err != nil {
 		return fmt.Errorf("pathindex: migrating %s: %w", src, err)
 	}
-	return ix.SaveV2(dst)
+	return ix.SaveV3(dst)
 }
 
 // sectionBounds validates that [off, off+length) lies inside a file of
@@ -223,7 +224,10 @@ func parseV2(data []byte, g *graph.Graph) (*Index, error) {
 		if v == 1 {
 			return nil, fmt.Errorf("pathindex: format v1 file: load it with pathindex.Load or rewrite it with pathindex.Migrate")
 		}
-		return nil, fmt.Errorf("pathindex: unsupported index version %d (supported: 1, 2)", v)
+		if v == v3Version {
+			return nil, fmt.Errorf("pathindex: format v3 file: open it with pathindex.OpenCompressed (or pathindex.OpenStorage)")
+		}
+		return nil, fmt.Errorf("pathindex: unsupported index version %d (supported: 1, 2, 3)", v)
 	}
 	if ps := le.Uint32(data[12:]); ps < 512 || ps > 1<<20 || ps&(ps-1) != 0 {
 		return nil, fmt.Errorf("pathindex: implausible page size %d", ps)

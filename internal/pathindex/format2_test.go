@@ -139,7 +139,7 @@ func TestLoadDetectsV2(t *testing.T) {
 	assertSameIndex(t, g, orig, loaded)
 }
 
-func TestMigrateV1ToV2(t *testing.T) {
+func TestMigrateV1ToV3(t *testing.T) {
 	g := graph.ExampleGraph()
 	orig, err := Build(g, 2, BuildOptions{})
 	if err != nil {
@@ -147,19 +147,24 @@ func TestMigrateV1ToV2(t *testing.T) {
 	}
 	dir := t.TempDir()
 	v1 := filepath.Join(dir, "ix.v1")
-	v2 := filepath.Join(dir, "ix.v2")
+	v3 := filepath.Join(dir, "ix.v3")
 	if err := orig.Save(v1); err != nil {
 		t.Fatal(err)
 	}
-	if err := Migrate(v1, v2, g); err != nil {
+	if err := Migrate(v1, v3, g); err != nil {
 		t.Fatal(err)
 	}
-	m, err := OpenMapped(v2, g)
+	// Migrate writes the current serving format (v3); OpenStorage must
+	// route it to the compressed reader.
+	st, err := OpenStorage(v3, g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer m.Close()
-	assertSameIndex(t, g, orig, m)
+	if _, ok := st.(*CompressedIndex); !ok {
+		t.Fatalf("OpenStorage(migrated file) = %T, want *CompressedIndex", st)
+	}
+	defer st.(*CompressedIndex).Close()
+	assertSameIndex(t, g, orig, st)
 }
 
 func TestOpenMappedRejectsV1(t *testing.T) {

@@ -1,0 +1,841 @@
+package pathindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// On-disk index format v3: format v2's page-aligned layout with the data
+// section block-compressed. Every sorted packed run is split into blocks
+// of at most v3BlockPairs pairs; a block stores its first pair verbatim
+// in a per-run block directory and the remaining pairs as uvarint deltas
+// between consecutive packed words (strict ascent makes every delta ≥ 1,
+// so a zero delta on decode is proof of corruption). Dense runs — whose
+// pairs share sources and differ in small dst steps — compress to 1–2
+// bytes per pair against v2's fixed 8. All integers are little-endian;
+// varints are the unsigned LEB128 of encoding/binary.
+//
+//	page 0          96-byte header as in v2, version = 3; the data
+//	                length field holds the compressed byte count (the
+//	                aligned sum of run encodings), not 8×entries
+//	labels section  identical to v2
+//	directory       one fixed-width record per path id, 8-byte aligned:
+//	                  [0:8)      run offset u64 (absolute, 8-aligned)
+//	                  [8:16)     encoded length u64 (block dir + payload)
+//	                  [16:24)    pair count u64
+//	                  [24:28)    block count u32
+//	                  [28:32)    path length u32
+//	                  [32:32+4k) k slots of u32 DirLabel
+//	data section    page-aligned; runs tile it densely in directory
+//	                order at 8-byte-aligned offsets. Each run is its
+//	                block directory (block count × 16-byte entries:
+//	                first pair u64, payload-relative byte offset u32,
+//	                pair count u32) followed by the concatenated varint
+//	                payloads of all blocks
+//
+// The trust model mirrors v2: OpenCompressed validates the header,
+// label table, directory, and every block directory (cost proportional
+// to the block count, not the payload), but trusts the varint payload
+// itself; the heap loaders (Load/ReadFrom) decode and therefore verify
+// everything, and VerifyBlocks runs the full decode on demand for a
+// mapped index of untrusted provenance.
+const (
+	v3Version = 3
+	// v3BlockPairs is the maximum number of pairs per compressed block —
+	// the decode granularity of every scan. It matches DefaultBlockSize
+	// so one decoded block feeds the executor's block iterator directly.
+	v3BlockPairs = DefaultBlockSize
+	// v3BlockDirEntry is the size of one block-directory entry.
+	v3BlockDirEntry = 16
+)
+
+// v3RecSize returns the directory record width for locality parameter k.
+func v3RecSize(k int) int { return align8(32 + 4*k) }
+
+// uvarintLen returns the encoded length of v in bytes.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// v3RunSize returns the encoded byte length (block directory + varint
+// payload) and block count of one sorted run.
+func v3RunSize(rel []Packed) (encLen, blocks int) {
+	for off := 0; off < len(rel); off += v3BlockPairs {
+		end := off + v3BlockPairs
+		if end > len(rel) {
+			end = len(rel)
+		}
+		blocks++
+		encLen += v3BlockDirEntry
+		for i := off + 1; i < end; i++ {
+			encLen += uvarintLen(uint64(rel[i]) - uint64(rel[i-1]))
+		}
+	}
+	return encLen, blocks
+}
+
+// appendV3Run appends the v3 encoding of rel (block directory, then
+// varint payload) to buf.
+func appendV3Run(buf []byte, rel []Packed) []byte {
+	nb := (len(rel) + v3BlockPairs - 1) / v3BlockPairs
+	dirStart := len(buf)
+	buf = append(buf, make([]byte, nb*v3BlockDirEntry)...)
+	payloadStart := len(buf)
+	le := binary.LittleEndian
+	for b := 0; b < nb; b++ {
+		off := b * v3BlockPairs
+		end := off + v3BlockPairs
+		if end > len(rel) {
+			end = len(rel)
+		}
+		ent := buf[dirStart+b*v3BlockDirEntry:]
+		le.PutUint64(ent[0:], uint64(rel[off]))
+		le.PutUint32(ent[8:], uint32(len(buf)-payloadStart))
+		le.PutUint32(ent[12:], uint32(end-off))
+		for i := off + 1; i < end; i++ {
+			buf = binary.AppendUvarint(buf, uint64(rel[i])-uint64(rel[i-1]))
+		}
+	}
+	return buf
+}
+
+// WriteV3To serializes the index in format v3 and returns the number of
+// bytes written. The output is a valid input for OpenCompressed,
+// OpenStorage, Load, and ReadFrom.
+func (ix *Index) WriteV3To(w io.Writer) (int64, error) {
+	labels := ix.g.Labels()
+	labelsLen := 0
+	for _, name := range labels {
+		labelsLen += 4 + len(name)
+	}
+	recSize := v3RecSize(ix.k)
+	labelsOff := v2PageSize
+	dirOff := align8(labelsOff + labelsLen)
+	dirLen := len(ix.paths) * recSize
+	dataOff := alignPage(dirOff + dirLen)
+
+	// Pass 1: per-run encoded sizes, so the directory can be written
+	// before any payload and the payload streamed run by run.
+	entries := 0
+	dataLen := 0
+	encLens := make([]int, len(ix.relations))
+	blockCounts := make([]int, len(ix.relations))
+	for pid, rel := range ix.relations {
+		entries += len(rel)
+		encLen, nb := v3RunSize(rel)
+		encLens[pid], blockCounts[pid] = encLen, nb
+		dataLen += align8(encLen)
+	}
+
+	le := binary.LittleEndian
+	head := make([]byte, dataOff)
+	copy(head, magic)
+	le.PutUint32(head[4:], v3Version)
+	le.PutUint32(head[12:], v2PageSize)
+	le.PutUint32(head[16:], uint32(ix.k))
+	le.PutUint32(head[20:], uint32(len(labels)))
+	le.PutUint32(head[24:], uint32(len(ix.paths)))
+	le.PutUint64(head[32:], uint64(entries))
+	le.PutUint64(head[40:], uint64(ix.stats.PathsKCount))
+	le.PutUint64(head[48:], uint64(labelsOff))
+	le.PutUint64(head[56:], uint64(labelsLen))
+	le.PutUint64(head[64:], uint64(dirOff))
+	le.PutUint64(head[72:], uint64(dirLen))
+	le.PutUint64(head[80:], uint64(dataOff))
+	le.PutUint64(head[88:], uint64(dataLen))
+
+	off := labelsOff
+	for _, name := range labels {
+		le.PutUint32(head[off:], uint32(len(name)))
+		copy(head[off+4:], name)
+		off += 4 + len(name)
+	}
+
+	runOff := uint64(dataOff)
+	for pid, p := range ix.paths {
+		rec := head[dirOff+pid*recSize:]
+		le.PutUint64(rec[0:], runOff)
+		le.PutUint64(rec[8:], uint64(encLens[pid]))
+		le.PutUint64(rec[16:], uint64(len(ix.relations[pid])))
+		le.PutUint32(rec[24:], uint32(blockCounts[pid]))
+		le.PutUint32(rec[28:], uint32(len(p)))
+		for j, d := range p {
+			le.PutUint32(rec[32+4*j:], uint32(d))
+		}
+		runOff += uint64(align8(encLens[pid]))
+	}
+
+	var n int64
+	m, err := w.Write(head)
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	// Pass 2: encode and stream each run, padded to its aligned slot.
+	buf := make([]byte, 0, 1<<20)
+	for _, rel := range ix.relations {
+		buf = appendV3Run(buf[:0], rel)
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// SaveV3 writes the index to a file in format v3 (the block-compressed
+// layout OpenCompressed consumes).
+func (ix *Index) SaveV3(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteV3To(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// decodeCounters accumulates scan-side decompression work. The counters
+// are global to the storage (not per query) and updated atomically, so
+// per-query numbers are deltas between reads; under concurrent queries
+// they are approximate attribution, exact totals.
+type decodeCounters struct {
+	blocks atomic.Int64
+	bytes  atomic.Int64
+}
+
+// compressedRun is the in-memory handle onto one block-compressed run:
+// the decoded block directory (O(block count) little slices built at
+// open) plus the varint payload aliasing the file image.
+type compressedRun struct {
+	firsts  []Packed // block id -> first pair, strictly ascending
+	offs    []uint32 // block id -> payload byte offset; len = blocks+1
+	counts  []uint32 // block id -> pairs in the block (1..v3BlockPairs)
+	payload []byte   // concatenated varint deltas, aliasing the file
+	n       int      // total pairs
+	ctr     *decodeCounters
+}
+
+// decode appends block b's pairs to dst, bounds- and order-checking
+// every varint: a short or overlong varint, a zero delta (duplicate
+// pair), or a wrapping delta all return an error instead of bad data.
+func (r *compressedRun) decode(b int, dst []Packed) ([]Packed, error) {
+	prev := r.firsts[b]
+	dst = append(dst, prev)
+	p := r.payload[r.offs[b]:r.offs[b+1]]
+	for i := 1; i < int(r.counts[b]); i++ {
+		d, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("pathindex: v3 block %d: bad varint at pair %d", b, i)
+		}
+		p = p[n:]
+		v := Packed(uint64(prev) + d)
+		if v <= prev {
+			return nil, fmt.Errorf("pathindex: v3 block %d: non-ascending delta at pair %d", b, i)
+		}
+		dst = append(dst, v)
+		prev = v
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("pathindex: v3 block %d: %d trailing payload bytes", b, len(p))
+	}
+	r.ctr.blocks.Add(1)
+	r.ctr.bytes.Add(int64(r.offs[b+1]-r.offs[b]) + v3BlockDirEntry)
+	return dst, nil
+}
+
+// decodeAll decodes the whole run, additionally verifying cross-block
+// ascent (each block's first pair must exceed its predecessor's last).
+func (r *compressedRun) decodeAll(dst []Packed) ([]Packed, error) {
+	for b := range r.counts {
+		if b > 0 && len(dst) > 0 && r.firsts[b] <= dst[len(dst)-1] {
+			return nil, fmt.Errorf("pathindex: v3 block %d starts at or below the previous block's last pair", b)
+		}
+		var err error
+		dst, err = r.decode(b, dst)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// blockFor returns the index of the block that could contain key: the
+// last block whose first pair is ≤ key, or -1 when key precedes the run.
+func (r *compressedRun) blockFor(key Packed) int {
+	return sort.Search(len(r.firsts), func(i int) bool { return r.firsts[i] > key }) - 1
+}
+
+// blockBufPool recycles per-call decode buffers for the point lookups
+// (Contains, SrcRange) that have no operator state to keep one in.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		s := make([]Packed, 0, v3BlockPairs)
+		return &s
+	},
+}
+
+// CompressedIndex is a read-only k-path index served directly from a
+// format-v3 file image: on unix hosts a read-only memory mapping,
+// elsewhere an aligned in-memory copy. Opening decodes only the header,
+// label table, directory, and per-run block directories — cost
+// proportional to the block count, never to the payload. Scans decode
+// one block at a time into a reused buffer (see BlockIterator), range
+// and membership lookups decode only the touched blocks, and Relation
+// decodes the full run into a fresh slice.
+//
+// A CompressedIndex satisfies Storage and Pinner with the same
+// close-vs-reader discipline as MappedIndex. Corrupt varint payload
+// encountered during a trusted scan terminates that scan early rather
+// than panicking; run VerifyBlocks (or load via Load/ReadFrom, which
+// always verify) for files of untrusted provenance.
+type CompressedIndex struct {
+	g     *graph.Graph
+	k     int
+	paths []Path
+	ids   map[string]uint32
+	count []int
+	runs  []compressedRun
+	stats BuildStats
+	dec   decodeCounters
+
+	data   []byte
+	unmap  func([]byte) error
+	mapped bool
+	gate   pinGate
+}
+
+// OpenCompressed opens a format-v3 index file over g, decoding block
+// directories but no payload. The file must have been produced by SaveV3
+// (or Migrate) from an index built on an identical graph; the label
+// vocabulary is verified, as in Load.
+func OpenCompressed(path string, g *graph.Graph) (*CompressedIndex, error) {
+	data, unmap, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := parseV3(data, g)
+	if err != nil {
+		if unmap != nil {
+			unmap(data)
+		}
+		return nil, fmt.Errorf("pathindex: opening %s: %w", path, err)
+	}
+	c.data = data
+	c.unmap = unmap
+	c.mapped = mapped
+	return c, nil
+}
+
+// parseV3 builds a CompressedIndex over a complete format-v3 image,
+// validating everything except the varint payload (see the format
+// comment for the trust model). data must stay alive and unmodified for
+// the lifetime of the returned index.
+func parseV3(data []byte, g *graph.Graph) (*CompressedIndex, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("pathindex: graph must be frozen")
+	}
+	le := binary.LittleEndian
+	if len(data) < v2HeaderSize {
+		return nil, fmt.Errorf("pathindex: v3 header truncated: file is %d bytes, need %d", len(data), v2HeaderSize)
+	}
+	if string(data[0:4]) != magic {
+		return nil, fmt.Errorf("pathindex: bad magic %q", data[0:4])
+	}
+	if v := le.Uint32(data[4:]); v != v3Version {
+		if v == 1 {
+			return nil, fmt.Errorf("pathindex: format v1 file: load it with pathindex.Load or rewrite it with pathindex.Migrate")
+		}
+		if v == v2Version {
+			return nil, fmt.Errorf("pathindex: format v2 file: open it with pathindex.OpenMapped (or pathindex.OpenStorage)")
+		}
+		return nil, fmt.Errorf("pathindex: unsupported index version %d (supported: 1, 2, 3)", v)
+	}
+	if ps := le.Uint32(data[12:]); ps < 512 || ps > 1<<20 || ps&(ps-1) != 0 {
+		return nil, fmt.Errorf("pathindex: implausible page size %d", ps)
+	}
+	k := int(le.Uint32(data[16:]))
+	if k < 1 || k > maxSaneK {
+		return nil, fmt.Errorf("pathindex: implausible locality parameter k=%d", k)
+	}
+	numLabels := int(le.Uint32(data[20:]))
+	numPaths := int(le.Uint32(data[24:]))
+	entries := le.Uint64(data[32:])
+	pathsK := le.Uint64(data[40:])
+	labelsOff, labelsLen := le.Uint64(data[48:]), le.Uint64(data[56:])
+	dirOff, dirLen := le.Uint64(data[64:]), le.Uint64(data[72:])
+	dataOff, dataLen := le.Uint64(data[80:]), le.Uint64(data[88:])
+
+	size := uint64(len(data))
+	if err := sectionBounds("labels", labelsOff, labelsLen, size); err != nil {
+		return nil, err
+	}
+	if err := sectionBounds("directory", dirOff, dirLen, size); err != nil {
+		return nil, err
+	}
+	if err := sectionBounds("data", dataOff, dataLen, size); err != nil {
+		return nil, err
+	}
+	recSize := uint64(v3RecSize(k))
+	if dirLen != uint64(numPaths)*recSize {
+		return nil, fmt.Errorf("pathindex: directory is %d bytes, want %d for %d paths at k=%d", dirLen, uint64(numPaths)*recSize, numPaths, k)
+	}
+	if dataOff%8 != 0 {
+		return nil, fmt.Errorf("pathindex: data section offset %d is not 8-byte aligned", dataOff)
+	}
+
+	if numLabels != g.NumLabels() {
+		return nil, fmt.Errorf("pathindex: index has %d labels, graph has %d", numLabels, g.NumLabels())
+	}
+	sec := data[labelsOff : labelsOff+labelsLen]
+	off := 0
+	for i := 0; i < numLabels; i++ {
+		if off+4 > len(sec) {
+			return nil, fmt.Errorf("pathindex: label table truncated at label %d", i)
+		}
+		nameLen := int(le.Uint32(sec[off:]))
+		if nameLen > len(sec)-off-4 {
+			return nil, fmt.Errorf("pathindex: label %d name length %d exceeds label table", i, nameLen)
+		}
+		name := string(sec[off+4 : off+4+nameLen])
+		if g.LabelName(graph.LabelID(i)) != name {
+			return nil, fmt.Errorf("pathindex: label %d is %q in index, %q in graph", i, name, g.LabelName(graph.LabelID(i)))
+		}
+		off += 4 + nameLen
+	}
+
+	c := &CompressedIndex{
+		g:     g,
+		k:     k,
+		ids:   make(map[string]uint32, numPaths),
+		paths: make([]Path, numPaths),
+		count: make([]int, numPaths),
+		runs:  make([]compressedRun, numPaths),
+	}
+	dir := data[dirOff : dirOff+dirLen]
+	var sum uint64 // aligned encoded bytes consumed so far
+	var pairSum uint64
+	for i := 0; i < numPaths; i++ {
+		rec := dir[uint64(i)*recSize:]
+		runOff := le.Uint64(rec[0:])
+		encLen := le.Uint64(rec[8:])
+		count := le.Uint64(rec[16:])
+		nb := int(le.Uint32(rec[24:]))
+		plen := int(le.Uint32(rec[28:]))
+		if plen < 1 || plen > k {
+			return nil, fmt.Errorf("pathindex: path %d has length %d, k=%d", i, plen, k)
+		}
+		p := make(Path, plen)
+		for j := range p {
+			d := graph.DirLabel(le.Uint32(rec[32+4*j:]))
+			if int(d.Label()) >= numLabels {
+				return nil, fmt.Errorf("pathindex: path %d references unknown label %d", i, d.Label())
+			}
+			p[j] = d
+		}
+		// As in v2, runs must tile the data section densely in directory
+		// order; the equality check rejects offsets that would alias a
+		// neighbouring run's bytes.
+		if runOff != dataOff+sum {
+			return nil, fmt.Errorf("pathindex: path %d run offset %d, want %d (runs must tile the data section)", i, runOff, dataOff+sum)
+		}
+		if encLen > dataLen-sum {
+			return nil, fmt.Errorf("pathindex: path %d run [%d, +%d bytes) exceeds data section", i, runOff, encLen)
+		}
+		wantBlocks := int((count + v3BlockPairs - 1) / v3BlockPairs)
+		if nb != wantBlocks {
+			return nil, fmt.Errorf("pathindex: path %d has %d blocks, want %d for %d pairs", i, nb, wantBlocks, count)
+		}
+		dirBytes := uint64(nb) * v3BlockDirEntry
+		if encLen < dirBytes {
+			return nil, fmt.Errorf("pathindex: path %d encoded length %d cannot hold its %d-entry block directory", i, encLen, nb)
+		}
+		payloadLen := encLen - dirBytes
+		run := compressedRun{
+			firsts:  make([]Packed, nb),
+			offs:    make([]uint32, nb+1),
+			counts:  make([]uint32, nb),
+			payload: data[runOff+dirBytes : runOff+encLen],
+			n:       int(count),
+			ctr:     &c.dec,
+		}
+		var blockPairs uint64
+		for b := 0; b < nb; b++ {
+			ent := data[runOff+uint64(b)*v3BlockDirEntry:]
+			run.firsts[b] = Packed(le.Uint64(ent[0:]))
+			run.offs[b] = le.Uint32(ent[8:])
+			run.counts[b] = le.Uint32(ent[12:])
+			if b > 0 && run.firsts[b] <= run.firsts[b-1] {
+				return nil, fmt.Errorf("pathindex: path %d block %d first pair out of order", i, b)
+			}
+			if uint64(run.offs[b]) > payloadLen || (b > 0 && run.offs[b] < run.offs[b-1]) {
+				return nil, fmt.Errorf("pathindex: path %d block %d payload offset %d out of range", i, b, run.offs[b])
+			}
+			cnt := run.counts[b]
+			if cnt < 1 || cnt > v3BlockPairs {
+				return nil, fmt.Errorf("pathindex: path %d block %d holds %d pairs, want 1..%d", i, b, cnt, v3BlockPairs)
+			}
+			if b < nb-1 && cnt != v3BlockPairs {
+				return nil, fmt.Errorf("pathindex: path %d block %d is short (%d pairs) but not last", i, b, cnt)
+			}
+			blockPairs += uint64(cnt)
+		}
+		if nb > 0 && run.offs[0] != 0 {
+			return nil, fmt.Errorf("pathindex: path %d first block payload offset %d, want 0", i, run.offs[0])
+		}
+		run.offs[nb] = uint32(payloadLen)
+		if blockPairs != count {
+			return nil, fmt.Errorf("pathindex: path %d blocks sum to %d pairs, directory claims %d", i, blockPairs, count)
+		}
+		key := p.Key()
+		if _, dup := c.ids[key]; dup {
+			return nil, fmt.Errorf("pathindex: duplicate path %d in directory", i)
+		}
+		c.paths[i] = p
+		c.ids[key] = uint32(i)
+		c.count[i] = int(count)
+		c.runs[i] = run
+		sum += uint64(align8(int(encLen)))
+		pairSum += count
+	}
+	if sum != dataLen {
+		return nil, fmt.Errorf("pathindex: runs tile %d data bytes, header claims %d", sum, dataLen)
+	}
+	if pairSum != entries {
+		return nil, fmt.Errorf("pathindex: directory sums to %d entries, header claims %d", pairSum, entries)
+	}
+	c.stats = BuildStats{
+		Entries:     int(entries),
+		LabelPaths:  numPaths,
+		PathsKCount: int(pathsK),
+	}
+	return c, nil
+}
+
+// VerifyBlocks decodes every block of every run, checking varint
+// well-formedness and strict pair ascent within and across blocks — the
+// full-payload verification OpenCompressed deliberately skips to keep
+// open cost proportional to the block directories. The v3 counterpart of
+// MappedIndex.VerifyRuns.
+func (c *CompressedIndex) VerifyBlocks() error {
+	buf := make([]Packed, 0, v3BlockPairs)
+	for pid := range c.runs {
+		r := &c.runs[pid]
+		var last Packed
+		for b := range r.counts {
+			dec, err := r.decode(b, buf[:0])
+			if err != nil {
+				return fmt.Errorf("pathindex: path %d: %w", pid, err)
+			}
+			if b > 0 && dec[0] <= last {
+				return fmt.Errorf("pathindex: path %d block %d starts at or below the previous block's last pair", pid, b)
+			}
+			last = dec[len(dec)-1]
+		}
+	}
+	return nil
+}
+
+// Materialize decodes the whole index into a fresh heap-backed Index
+// (verifying the payload as a side effect). It backs Save/SaveV2/SaveV3
+// re-serialization of an index opened compressed.
+func (c *CompressedIndex) Materialize() (*Index, error) {
+	ix := &Index{
+		g:         c.g,
+		k:         c.k,
+		ids:       make(map[string]uint32, len(c.paths)),
+		paths:     make([]Path, len(c.paths)),
+		count:     make([]int, len(c.paths)),
+		relations: make([][]Packed, len(c.paths)),
+		stats:     c.stats,
+	}
+	for pid := range c.runs {
+		rel, err := c.runs[pid].decodeAll(make([]Packed, 0, c.count[pid]))
+		if err != nil {
+			return nil, fmt.Errorf("pathindex: path %d: %w", pid, err)
+		}
+		p := c.paths[pid]
+		ix.paths[pid] = p
+		ix.ids[p.Key()] = uint32(pid)
+		ix.count[pid] = len(rel)
+		ix.relations[pid] = rel
+	}
+	return ix, nil
+}
+
+// Save persists the index in format v1 (via Materialize).
+func (c *CompressedIndex) Save(path string) error {
+	ix, err := c.Materialize()
+	if err != nil {
+		return err
+	}
+	return ix.Save(path)
+}
+
+// SaveV2 persists the index in format v2 (via Materialize).
+func (c *CompressedIndex) SaveV2(path string) error {
+	ix, err := c.Materialize()
+	if err != nil {
+		return err
+	}
+	return ix.SaveV2(path)
+}
+
+// SaveV3 re-persists the index in format v3 (via Materialize).
+func (c *CompressedIndex) SaveV3(path string) error {
+	ix, err := c.Materialize()
+	if err != nil {
+		return err
+	}
+	return ix.SaveV3(path)
+}
+
+// K implements Storage.
+func (c *CompressedIndex) K() int { return c.k }
+
+// Graph implements Storage.
+func (c *CompressedIndex) Graph() *graph.Graph { return c.g }
+
+// Stats implements Storage.
+func (c *CompressedIndex) Stats() BuildStats { return c.stats }
+
+// NumEntries implements Storage.
+func (c *CompressedIndex) NumEntries() int { return c.stats.Entries }
+
+// NumLabelPaths implements Storage.
+func (c *CompressedIndex) NumLabelPaths() int { return len(c.paths) }
+
+// PathsKCount implements Storage.
+func (c *CompressedIndex) PathsKCount() int { return c.stats.PathsKCount }
+
+// PathID implements Storage.
+func (c *CompressedIndex) PathID(p Path) (uint32, bool) {
+	id, ok := c.ids[p.Key()]
+	return id, ok
+}
+
+// PathByID implements Storage.
+func (c *CompressedIndex) PathByID(id uint32) Path { return c.paths[id] }
+
+// Count implements Storage.
+func (c *CompressedIndex) Count(p Path) int {
+	if id, ok := c.ids[p.Key()]; ok {
+		return c.count[id]
+	}
+	return 0
+}
+
+// CountByID implements Storage.
+func (c *CompressedIndex) CountByID(id uint32) int { return c.count[id] }
+
+// AllPaths implements Storage. It walks only the directory, so the
+// histogram build over a compressed index decodes nothing.
+func (c *CompressedIndex) AllPaths(fn func(id uint32, p Path, count int)) {
+	for id, p := range c.paths {
+		fn(uint32(id), p, c.count[id])
+	}
+}
+
+// Relation implements Storage by decoding the full run into a fresh
+// slice — an O(|p(G)|) allocation. Prefer Blocks (decode-on-scan) or
+// SrcRange (touched blocks only) on hot paths. A corrupt payload yields
+// the pairs decoded before the corruption.
+func (c *CompressedIndex) Relation(p Path) []Packed {
+	id, ok := c.ids[p.Key()]
+	if !ok {
+		return nil
+	}
+	rel, err := c.runs[id].decodeAll(make([]Packed, 0, c.count[id]))
+	if err != nil {
+		return rel
+	}
+	return rel
+}
+
+// Blocks implements Storage: the iterator decodes one block at a time
+// into a reused buffer (each returned block is valid until the next
+// Next call).
+func (c *CompressedIndex) Blocks(p Path) *BlockIterator {
+	return c.BlocksSized(p, DefaultBlockSize)
+}
+
+// BlocksSized implements Storage. Blocks larger than the on-disk block
+// granularity (v3BlockPairs pairs) are served at that granularity.
+func (c *CompressedIndex) BlocksSized(p Path, blockSize int) *BlockIterator {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	id, ok := c.ids[p.Key()]
+	if !ok {
+		return &BlockIterator{size: blockSize}
+	}
+	return &BlockIterator{cr: &c.runs[id], size: blockSize}
+}
+
+// SrcRange implements Storage, decoding only the 1–2 blocks (typically)
+// that can hold pairs with the given source. The result is freshly
+// allocated, unlike the zero-copy sub-slices of the other storages.
+func (c *CompressedIndex) SrcRange(p Path, src graph.NodeID) []Packed {
+	id, ok := c.ids[p.Key()]
+	if !ok {
+		return nil
+	}
+	r := &c.runs[id]
+	lo := Pack(src, 0)
+	unbounded := src == ^graph.NodeID(0) // src+1 would overflow the packed prefix
+	var hi Packed
+	if !unbounded {
+		hi = Pack(src+1, 0)
+	}
+	b := r.blockFor(lo)
+	if b < 0 {
+		b = 0
+	}
+	bufp := blockBufPool.Get().(*[]Packed)
+	defer blockBufPool.Put(bufp)
+	var out []Packed
+	for ; b < len(r.firsts); b++ {
+		if !unbounded && r.firsts[b] >= hi {
+			break
+		}
+		dec, err := r.decode(b, (*bufp)[:0])
+		if err != nil {
+			break
+		}
+		*bufp = dec[:0]
+		i := sort.Search(len(dec), func(x int) bool { return dec[x] >= lo })
+		j := len(dec)
+		if !unbounded {
+			j = sort.Search(len(dec), func(x int) bool { return dec[x] >= hi })
+		}
+		out = append(out, dec[i:j]...)
+		if j < len(dec) {
+			break
+		}
+	}
+	return out
+}
+
+// Scan implements Storage (a full-decode convenience; the executor uses
+// Blocks).
+func (c *CompressedIndex) Scan(p Path) *PairIterator {
+	return &PairIterator{rel: c.Relation(p)}
+}
+
+// ScanFrom implements Storage.
+func (c *CompressedIndex) ScanFrom(p Path, src graph.NodeID) *PairIterator {
+	return &PairIterator{rel: c.SrcRange(p, src)}
+}
+
+// Contains implements Storage by decoding the single block that could
+// hold (src,dst) and binary-searching it.
+func (c *CompressedIndex) Contains(p Path, src, dst graph.NodeID) bool {
+	id, ok := c.ids[p.Key()]
+	if !ok {
+		return false
+	}
+	r := &c.runs[id]
+	key := Pack(src, dst)
+	b := r.blockFor(key)
+	if b < 0 {
+		return false
+	}
+	if r.firsts[b] == key {
+		return true
+	}
+	bufp := blockBufPool.Get().(*[]Packed)
+	defer blockBufPool.Put(bufp)
+	dec, err := r.decode(b, (*bufp)[:0])
+	if err != nil {
+		return false
+	}
+	*bufp = dec[:0]
+	i := sort.Search(len(dec), func(x int) bool { return dec[x] >= key })
+	return i < len(dec) && dec[i] == key
+}
+
+// DecodeStats returns the storage-lifetime decompression counters:
+// blocks decoded and compressed bytes (payload + block-directory)
+// consumed by scans, range lookups, and membership probes.
+func (c *CompressedIndex) DecodeStats() (blocks, bytes int64) {
+	return c.dec.blocks.Load(), c.dec.bytes.Load()
+}
+
+// Pin implements Pinner; see MappedIndex.Pin.
+func (c *CompressedIndex) Pin() error { return c.gate.pin() }
+
+// Unpin implements Pinner.
+func (c *CompressedIndex) Unpin() { c.gate.unpin() }
+
+// Close releases the file mapping with the same drain discipline as
+// MappedIndex.Close: new Pins fail, in-flight readers finish, then the
+// image is unmapped exactly once.
+func (c *CompressedIndex) Close() error {
+	var data []byte
+	c.gate.shutdown(func() {
+		data = c.data
+		c.data = nil
+	})
+	if data == nil {
+		return nil
+	}
+	if c.unmap != nil {
+		return c.unmap(data)
+	}
+	return nil
+}
+
+// Mapped reports whether the index is backed by a true memory mapping.
+func (c *CompressedIndex) Mapped() bool { return c.mapped }
+
+// FileBytes returns the size of the underlying file image (0 after
+// Close).
+func (c *CompressedIndex) FileBytes() int { return len(c.data) }
+
+// OpenStorage opens a saved index file with the storage its format
+// version calls for: a format-v2 file as a *MappedIndex (zero-copy
+// packed runs), a format-v3 file as a *CompressedIndex (block-compressed
+// runs decoded on scan). Format-v1 files are rejected with an error
+// pointing at Load/Migrate, as they have no serve-in-place layout.
+func OpenStorage(path string, g *graph.Graph) (Storage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [8]byte
+	_, err = io.ReadFull(f, head[:])
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("pathindex: reading magic of %s: %w", path, err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("pathindex: %s: bad magic %q", path, head[:4])
+	}
+	switch v := binary.LittleEndian.Uint32(head[4:]); v {
+	case v2Version:
+		return OpenMapped(path, g)
+	case v3Version:
+		return OpenCompressed(path, g)
+	case curVersion:
+		return nil, fmt.Errorf("pathindex: %s is a format v1 file: load it with pathindex.Load or rewrite it with pathindex.Migrate", path)
+	default:
+		return nil, fmt.Errorf("pathindex: %s: unsupported index version %d (supported: 1, 2, 3)", path, v)
+	}
+}
+
+var (
+	_ Storage = (*CompressedIndex)(nil)
+	_ Pinner  = (*CompressedIndex)(nil)
+)

@@ -300,19 +300,44 @@ func (ix *Index) Relation(p Path) []Packed {
 // packed words stays cache-resident while the executor decodes it.
 const DefaultBlockSize = 4096
 
-// BlockIterator yields a sorted relation as consecutive zero-copy
-// []Packed blocks. The blocks alias the index storage and must not be
-// mutated.
+// BlockIterator yields a sorted relation as consecutive []Packed blocks.
+// Over uncompressed storage the blocks are zero-copy sub-slices of the
+// index runs; over a *CompressedIndex run each on-disk block is varint
+// decoded on demand into a buffer reused across Next calls. In both
+// cases a returned block must not be mutated, and over compressed runs
+// it is additionally only valid until the next Next call — consumers
+// (IndexScan, MergeUnionScan) fully drain a block before advancing.
 type BlockIterator struct {
 	rel  []Packed
 	off  int
 	size int
+
+	// Compressed source: when cr is non-nil, rel is the decode buffer
+	// and blk the next on-disk block to decode into it.
+	cr  *compressedRun
+	blk int
+	buf []Packed
 }
 
-// Next returns the next block, or nil at exhaustion.
+// Next returns the next block, or nil at exhaustion. A decode error in a
+// compressed run terminates the iteration early (see the CompressedIndex
+// trust model) rather than panicking.
 func (bi *BlockIterator) Next() []Packed {
-	if bi.off >= len(bi.rel) {
-		return nil
+	for bi.off >= len(bi.rel) {
+		if bi.cr == nil || bi.blk >= len(bi.cr.counts) {
+			return nil
+		}
+		if bi.buf == nil {
+			bi.buf = make([]Packed, 0, v3BlockPairs)
+		}
+		dec, err := bi.cr.decode(bi.blk, bi.buf[:0])
+		bi.blk++
+		if err != nil {
+			bi.cr = nil
+			return nil
+		}
+		bi.buf = dec
+		bi.rel, bi.off = dec, 0
 	}
 	end := bi.off + bi.size
 	if end > len(bi.rel) {

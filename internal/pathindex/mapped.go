@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
 	"unsafe"
 
 	"repro/internal/graph"
@@ -35,11 +34,7 @@ type MappedIndex struct {
 	data   []byte
 	unmap  func([]byte) error
 	mapped bool
-
-	mu      sync.Mutex
-	drained sync.Cond // signaled when pins reaches 0 while closing
-	pins    int
-	closing bool
+	gate   pinGate
 }
 
 // OpenMapped opens a format-v2 index file over g with zero-copy access
@@ -60,34 +55,15 @@ func OpenMapped(path string, g *graph.Graph) (*MappedIndex, error) {
 		return nil, fmt.Errorf("pathindex: opening %s: %w", path, err)
 	}
 	m := &MappedIndex{heapIndex: *ix, data: data, unmap: unmap, mapped: mapped}
-	m.drained.L = &m.mu
 	return m, nil
 }
 
 // Pin implements Pinner: it registers a reader, failing with ErrClosed
 // once Close has begun. Every successful Pin must be paired with Unpin.
-func (m *MappedIndex) Pin() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closing {
-		return ErrClosed
-	}
-	m.pins++
-	return nil
-}
+func (m *MappedIndex) Pin() error { return m.gate.pin() }
 
 // Unpin implements Pinner, releasing a reader registered by Pin.
-func (m *MappedIndex) Unpin() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.pins <= 0 {
-		panic("pathindex: Unpin without matching Pin")
-	}
-	m.pins--
-	if m.pins == 0 && m.closing {
-		m.drained.Broadcast()
-	}
-}
+func (m *MappedIndex) Unpin() { m.gate.unpin() }
 
 // Close releases the file mapping (a no-op for the read-file fallback).
 // It first fails all future Pins with ErrClosed, then blocks until every
@@ -96,14 +72,11 @@ func (m *MappedIndex) Unpin() {
 // readers that start after get an error instead of a fault. Close is
 // idempotent; concurrent Closes all wait and only one unmaps.
 func (m *MappedIndex) Close() error {
-	m.mu.Lock()
-	m.closing = true
-	for m.pins > 0 {
-		m.drained.Wait()
-	}
-	data := m.data
-	m.data = nil
-	m.mu.Unlock()
+	var data []byte
+	m.gate.shutdown(func() {
+		data = m.data
+		m.data = nil
+	})
 	if data == nil {
 		return nil
 	}

@@ -243,6 +243,25 @@ func (o *Overlay) RunPair(p Path) (base, delta []Packed) {
 	return base, o.deltaRuns[id]
 }
 
+// RunBlocks returns the base run as a block iterator plus the delta run
+// whose disjoint merge-union is p(G'). Unlike RunPair it never forces a
+// compressed base run to decode eagerly: over a *CompressedIndex base
+// the iterator decodes block by block, which is what the executor's
+// merge-union scan consumes. The delta run aliases the overlay and must
+// not be mutated.
+func (o *Overlay) RunBlocks(p Path) (base *BlockIterator, delta []Packed) {
+	id, ok := o.ids[p.Key()]
+	if !ok {
+		return &BlockIterator{size: DefaultBlockSize}, nil
+	}
+	if id < uint32(o.numBase) {
+		base = o.base.Blocks(p)
+	} else {
+		base = &BlockIterator{size: DefaultBlockSize}
+	}
+	return base, o.deltaRuns[id]
+}
+
 // Relation implements Storage. When both the base and delta runs are
 // non-empty the merged run is freshly allocated; prefer RunPair (or
 // Blocks/SrcRange, which merge lazily or on small ranges) on hot paths.
@@ -256,10 +275,16 @@ func (o *Overlay) Blocks(p Path) *BlockIterator {
 	return o.BlocksSized(p, DefaultBlockSize)
 }
 
-// BlocksSized implements Storage.
+// BlocksSized implements Storage. Paths the delta left untouched are
+// delegated to the base iterator (keeping a compressed base's
+// decode-on-scan behaviour); paths with delta pairs materialize the
+// merged run.
 func (o *Overlay) BlocksSized(p Path, blockSize int) *BlockIterator {
 	if blockSize < 1 {
 		blockSize = 1
+	}
+	if id, ok := o.ids[p.Key()]; ok && id < uint32(o.numBase) && len(o.deltaRuns[id]) == 0 {
+		return o.base.BlocksSized(p, blockSize)
 	}
 	return &BlockIterator{rel: o.Relation(p), size: blockSize}
 }
@@ -342,6 +367,29 @@ func (o *Overlay) Save(path string) error { return o.Materialize().Save(path) }
 
 // SaveV2 persists the merged index in format v2 (via Materialize).
 func (o *Overlay) SaveV2(path string) error { return o.Materialize().SaveV2(path) }
+
+// SaveV3 persists the merged index block-compressed in format v3 (via
+// Materialize) — the write side of compaction: deltas live uncompressed
+// in memory, and the fold back to disk re-compresses.
+func (o *Overlay) SaveV3(path string) error { return o.Materialize().SaveV3(path) }
+
+// FileBytes forwards the base storage's on-disk size (0 over a heap
+// base): overlay deltas are memory-resident and add no file bytes.
+func (o *Overlay) FileBytes() int {
+	if f, ok := o.base.(interface{ FileBytes() int }); ok {
+		return f.FileBytes()
+	}
+	return 0
+}
+
+// DecodeStats forwards the base storage's decompression counters (zero
+// over an uncompressed base); see CompressedIndex.DecodeStats.
+func (o *Overlay) DecodeStats() (blocks, bytes int64) {
+	if d, ok := o.base.(interface{ DecodeStats() (int64, int64) }); ok {
+		return d.DecodeStats()
+	}
+	return 0, 0
+}
 
 // Pin implements Pinner by delegating to the base (a heap base needs no
 // pinning and always succeeds).

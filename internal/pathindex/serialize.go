@@ -28,9 +28,11 @@ import (
 // against the graph it is being attached to, so an index cannot silently
 // be used with a graph whose label interning differs.
 //
-// Format v2 (format2.go) shares the magic and version field, so both
-// readers recognize both formats: ReadFrom/Load decode either version
-// into a heap-backed Index, while OpenMapped serves v2 files zero-copy.
+// Formats v2 (format2.go) and v3 (format3.go) share the magic and
+// version field, so every reader recognizes every format: ReadFrom/Load
+// decode any version into a heap-backed Index, while OpenMapped serves
+// v2 files zero-copy and OpenCompressed serves v3 files decode-on-scan
+// (OpenStorage picks the right one by sniffing the version).
 const (
 	magic      = "PIDX"
 	trailer    = "XDIP"
@@ -168,8 +170,10 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 		// fall through to the v1 decoder below
 	case v2Version:
 		return readV2Heap(br, g)
+	case v3Version:
+		return readV3Heap(br, g)
 	default:
-		return nil, fmt.Errorf("pathindex: unsupported index version %d (supported: 1, 2)", version)
+		return nil, fmt.Errorf("pathindex: unsupported index version %d (supported: 1, 2, 3)", version)
 	}
 	if err := read(&k); err != nil {
 		return nil, fmt.Errorf("pathindex: reading header: %w", err)
@@ -318,8 +322,8 @@ func Load(path string, g *graph.Graph) (*Index, error) {
 	if _, err := io.ReadFull(f, head[:]); err != nil {
 		return nil, fmt.Errorf("pathindex: reading magic: %w", err)
 	}
-	if string(head[:4]) == magic && binary.LittleEndian.Uint32(head[4:]) == v2Version {
-		// Knowing the file size up front lets the v2 image land in one
+	if ver := binary.LittleEndian.Uint32(head[4:]); string(head[:4]) == magic && (ver == v2Version || ver == v3Version) {
+		// Knowing the file size up front lets the image land in one
 		// aligned allocation instead of ReadAll's growth churn plus a
 		// copy.
 		st, err := f.Stat()
@@ -328,13 +332,16 @@ func Load(path string, g *graph.Graph) (*Index, error) {
 		}
 		size := st.Size()
 		if int64(int(size)) != size || size < 8 {
-			return nil, fmt.Errorf("pathindex: implausible v2 file size %d", size)
+			return nil, fmt.Errorf("pathindex: implausible v%d file size %d", ver, size)
 		}
 		words := make([]uint64, (size+7)/8)
 		data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
 		copy(data, head[:])
 		if _, err := io.ReadFull(f, data[8:]); err != nil {
-			return nil, fmt.Errorf("pathindex: reading v2 image: %w", err)
+			return nil, fmt.Errorf("pathindex: reading v%d image: %w", ver, err)
+		}
+		if ver == v3Version {
+			return decodeV3Heap(data, g)
 		}
 		return decodeV2Heap(data, g)
 	}
@@ -375,4 +382,32 @@ func decodeV2Heap(data []byte, g *graph.Graph) (*Index, error) {
 		return nil, err
 	}
 	return ix, nil
+}
+
+// readV3Heap finishes reading a format-v3 stream whose magic and version
+// were already consumed; the Materialize decode verifies every varint
+// payload, so heap-loading v3 data rejects corruption OpenCompressed
+// would tolerate until scan time.
+func readV3Heap(br io.Reader, g *graph.Graph) (*Index, error) {
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("pathindex: reading v3 image: %w", err)
+	}
+	total := 8 + len(rest)
+	words := make([]uint64, (total+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), total)
+	copy(data, magic)
+	binary.LittleEndian.PutUint32(data[4:], v3Version)
+	copy(data[8:], rest)
+	return decodeV3Heap(data, g)
+}
+
+// decodeV3Heap parses a complete v3 image and fully decodes it into a
+// heap-backed Index, verifying the payload in the process.
+func decodeV3Heap(data []byte, g *graph.Graph) (*Index, error) {
+	c, err := parseV3(data, g)
+	if err != nil {
+		return nil, err
+	}
+	return c.Materialize()
 }

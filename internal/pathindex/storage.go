@@ -2,6 +2,7 @@ package pathindex
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -11,23 +12,89 @@ import (
 var ErrClosed = errors.New("pathindex: index closed")
 
 // Pinner is implemented by storage whose backing memory has a managed
-// lifetime (*MappedIndex, and *Overlay over such a base). A reader that
-// will touch relation memory must hold a pin for the duration of the
-// access: Pin fails with ErrClosed once Close has begun, and Close
-// blocks until every pin is released, so an unmap can never pull pages
-// out from under an in-flight scan. Heap-backed storage needs no pinning
-// and does not implement the interface; callers type-assert and skip.
+// lifetime (*MappedIndex, *CompressedIndex, and *Overlay over such a
+// base). A reader that will touch relation memory must hold a pin for
+// the duration of the access: Pin fails with ErrClosed once Close has
+// begun, and Close blocks until every pin is released, so an unmap can
+// never pull pages out from under an in-flight scan. Heap-backed storage
+// needs no pinning and does not implement the interface; callers
+// type-assert and skip.
 type Pinner interface {
 	Pin() error
 	Unpin()
 }
 
+// pinGate is the shared reader-pin/close-drain protocol behind Pinner:
+// pin registers a reader (failing once shutdown has begun), unpin
+// releases one, and shutdown marks the gate closing, waits for the pin
+// count to drain to zero, and runs its release callback under the lock
+// exactly once per resource (the callback steals the owner's data
+// pointer, so concurrent shutdowns all wait but only one releases). The
+// zero value is ready to use.
+type pinGate struct {
+	mu      sync.Mutex
+	drained sync.Cond // signaled when pins reaches 0 while closing
+	pins    int
+	closing bool
+}
+
+func (g *pinGate) pin() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closing {
+		return ErrClosed
+	}
+	g.pins++
+	return nil
+}
+
+func (g *pinGate) unpin() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pins <= 0 {
+		panic("pathindex: Unpin without matching Pin")
+	}
+	g.pins--
+	if g.pins == 0 && g.closing {
+		g.drained.Broadcast()
+	}
+}
+
+func (g *pinGate) shutdown(release func()) {
+	g.mu.Lock()
+	if g.drained.L == nil {
+		g.drained.L = &g.mu
+	}
+	g.closing = true
+	for g.pins > 0 {
+		g.drained.Wait()
+	}
+	release()
+	g.mu.Unlock()
+}
+
 // Storage is the read side of a k-path index: everything the engine,
-// executor, and histogram need to plan and evaluate queries. It is
-// implemented by the heap-backed *Index (built in memory or decoded from
-// a saved file) and by *MappedIndex (a format-v2 file opened zero-copy
-// via mmap). Both hand out relations as sorted []Packed runs whose
-// sub-slices alias the storage and must not be mutated.
+// executor, and histogram need to plan and evaluate queries. Four
+// implementations exist:
+//
+//   - *Index — heap-backed packed runs, built in memory or decoded from
+//     a saved file by Load/ReadFrom (any format version).
+//   - *MappedIndex — a format-v2 file opened zero-copy via mmap; its
+//     runs alias the file image directly.
+//   - *CompressedIndex — a format-v3 file of block-compressed runs,
+//     also mmap-backed. Only the per-run block directories are decoded
+//     at open; relation payload is delta+varint decoded on scan, one
+//     block at a time, inside BlockIterator/SrcRange/Contains. Its
+//     Relation and SrcRange therefore return freshly decoded slices
+//     rather than aliases of storage memory.
+//   - *Overlay — a read-only base Storage (any of the above) merged
+//     with an in-memory Delta of live updates; Compact materializes and
+//     re-persists (in format v3 when saved via SaveV3/Migrate).
+//
+// All implementations hand out relations as sorted []Packed runs that
+// must not be mutated; for the zero-copy storages the runs additionally
+// alias storage memory, so mmap-backed implementations also implement
+// Pinner and readers must hold a pin across any access.
 //
 // Implementations are immutable after construction, so a Storage may be
 // shared by any number of concurrent readers.
@@ -58,7 +125,8 @@ type Storage interface {
 	AllPaths(fn func(id uint32, p Path, count int))
 	// Relation returns p(G) as one sorted (src,dst) run.
 	Relation(p Path) []Packed
-	// Blocks iterates p(G) as zero-copy blocks of DefaultBlockSize.
+	// Blocks iterates p(G) as blocks of DefaultBlockSize (zero-copy for
+	// uncompressed storage, decode-on-scan for *CompressedIndex).
 	Blocks(p Path) *BlockIterator
 	// BlocksSized iterates p(G) with an explicit block size.
 	BlocksSized(p Path, blockSize int) *BlockIterator
@@ -75,4 +143,5 @@ type Storage interface {
 var (
 	_ Storage = (*Index)(nil)
 	_ Storage = (*MappedIndex)(nil)
+	_ Storage = (*Overlay)(nil)
 )

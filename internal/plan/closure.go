@@ -30,14 +30,21 @@ func (e SeqElem) IsStar() bool { return e.Star != nil }
 // segments and closure factors.
 type Seq struct {
 	Elems []SeqElem
+	// Pure marks a disjunct the rewriter identified as a bare Kleene
+	// star (closure of the identity relation, no fixed segments) — a
+	// mode hint: its closure is always worth streaming, since the output
+	// covers every source's full reach set.
+	Pure bool
 }
 
-// Closure evaluates the Kleene closure of Body applied to Input by
-// semi-naive fixpoint iteration: starting from Input's relation (or the
-// identity relation when Input is nil), a delta frontier is repeatedly
-// composed with the body relation, deduplicated against the accumulated
-// result, until no new pairs appear. Output carries no useful order, so
-// joins above a Closure are hash joins.
+// Closure evaluates the Kleene closure of Body applied to Input:
+// starting from Input's relation (or the identity relation when Input is
+// nil), either by semi-naive fixpoint iteration (a delta frontier is
+// repeatedly composed with the body relation, deduplicated against the
+// accumulated result, until no new pairs appear) or — when Streamed —
+// output-sensitively by per-source BFS over the body adjacency, which
+// never materializes the accumulated relation. Output carries no useful
+// order either way, so joins above a Closure are hash joins.
 type Closure struct {
 	// Input is the relation being closed; nil means the identity
 	// relation over all graph nodes (a pure star disjunct).
@@ -45,8 +52,11 @@ type Closure struct {
 	// Body is the union of body-sequence subplans; one fixpoint step
 	// composes the delta with this union's relation.
 	Body []Node
-	card float64
-	cost float64
+	// Streamed selects the output-sensitive per-source BFS evaluation
+	// mode over the pair-materializing fixpoint.
+	Streamed bool
+	card     float64
+	cost     float64
 }
 
 func (c *Closure) Card() float64 { return c.card }
@@ -74,10 +84,18 @@ func (r *Reach) Cost() float64 { return r.card }
 const (
 	closureGrowth     = 4.0
 	closureIterFactor = 2.0
+	// streamFactor is the output-sensitivity threshold: a closure whose
+	// estimated output is at least streamFactor times its touched-edge
+	// estimate (input + body cardinalities) is evaluated streamed, since
+	// materializing the result set would dominate the work.
+	streamFactor = 2.0
 )
 
 // closure builds a Closure node over input (nil for a pure star) and the
-// body subplans.
+// body subplans, choosing the evaluation mode: when the planner has
+// streaming enabled and the histogram-estimated closure output dwarfs
+// the touched-edge count (or the closure is a pure star, whose output is
+// every source's reach set), the node is marked Streamed.
 func (pl *Planner) closure(input Node, body []Node) *Closure {
 	dv := float64(pl.NumNodes)
 	if dv < 1 {
@@ -99,10 +117,11 @@ func (pl *Planner) closure(input Node, body []Node) *Closure {
 		card = max
 	}
 	return &Closure{
-		Input: input,
-		Body:  body,
-		card:  card,
-		cost:  inCost + bodyCost + bodyCard + closureIterFactor*card,
+		Input:    input,
+		Body:     body,
+		Streamed: pl.StreamClosures && (input == nil || card >= streamFactor*(inCard+bodyCard)),
+		card:     card,
+		cost:     inCost + bodyCost + bodyCard + closureIterFactor*card,
 	}
 }
 
@@ -193,7 +212,14 @@ func (pl *Planner) planSeq(s Seq, strategy Strategy) (Node, error) {
 			}
 			body[i] = sub
 		}
-		node = pl.closure(node, body)
+		cl := pl.closure(node, body)
+		if s.Pure && pl.StreamClosures {
+			// The rewriter's pure-star hint overrides the cardinality
+			// test: a bare star enumerates every source's reach set, the
+			// exact shape per-source BFS is built for.
+			cl.Streamed = true
+		}
+		node = cl
 	}
 	return node, nil
 }

@@ -173,6 +173,11 @@ type Planner struct {
 	// restricted closures (ℓ1|…|ℓm)*, forcing the general fixpoint
 	// Closure operator (ablation and differential testing).
 	NoReachIndex bool
+	// StreamClosures enables the output-sensitive closure mode: Closure
+	// nodes whose estimated output dwarfs their touched-edge estimate are
+	// marked Streamed and evaluated by per-source BFS with bounded memory
+	// instead of the pair-materializing fixpoint.
+	StreamClosures bool
 }
 
 // Cost-model constants: a hash join pays hashBuildFactor per build-side
@@ -522,7 +527,11 @@ func formatNode(b *strings.Builder, n Node, g *graph.Graph, prefix, indent strin
 		formatNode(b, v.Left, g, indent+"├─ ", indent+"│  ")
 		formatNode(b, v.Right, g, indent+"└─ ", indent+"   ")
 	case *Closure:
-		fmt.Fprintf(b, "%sclosure [fixpoint] (est card %.1f, cost %.1f)\n", prefix, v.Card(), v.Cost())
+		mode := "fixpoint"
+		if v.Streamed {
+			mode = "streamed"
+		}
+		fmt.Fprintf(b, "%sclosure [%s] (est card %.1f, cost %.1f)\n", prefix, mode, v.Card(), v.Cost())
 		if v.Input == nil {
 			fmt.Fprintf(b, "%s├─ input: identity (ε)\n", indent)
 		} else {

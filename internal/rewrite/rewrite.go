@@ -148,6 +148,15 @@ func (s Seq) TotalSteps() int {
 	return total
 }
 
+// PureStar reports whether the sequence is a bare Kleene star — exactly
+// one element, a closure factor with no fixed segments around it. The
+// planner uses this as a closure-mode hint: a pure star's answer is
+// every source's reach set, the shape the output-sensitive streaming
+// evaluator is built for.
+func (s Seq) PureStar() bool {
+	return len(s.Elems) == 1 && s.Elems[0].IsStar()
+}
+
 // HasStar reports whether the sequence contains a closure factor.
 func (s Seq) HasStar() bool {
 	for _, e := range s.Elems {

@@ -55,6 +55,27 @@ func Advogato() []Query {
 	return out
 }
 
+// DefaultStarMaxScale caps the Advogato subsample on which the
+// Kleene-closure classes (Q9, Q10) are generated and benchmarked.
+// Closure answers are quadratic in SCC size, so the closure experiments
+// never use the full-scale graph; the cap bounds their answer sets. It
+// was 0.1 while closures were always materialized — output-sensitive
+// streamed evaluation (which never holds the accumulated relation) lifts
+// it to 0.4, four times the node count of the old fixture.
+const DefaultStarMaxScale = 0.4
+
+// StarScale clamps a requested Advogato scale for the closure classes:
+// min(scale, maxScale), with maxScale <= 0 meaning DefaultStarMaxScale.
+func StarScale(scale, maxScale float64) float64 {
+	if maxScale <= 0 {
+		maxScale = DefaultStarMaxScale
+	}
+	if scale < maxScale {
+		return scale
+	}
+	return maxScale
+}
+
 // Lookup returns the Advogato workload query with the given name.
 func Lookup(name string) (Query, error) {
 	for _, q := range Advogato() {

@@ -280,8 +280,9 @@ func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Resu
 // SaveIndex persists the k-path index to a file in format v1 (the
 // copy-decoded stream format). The graph itself is not stored; pair
 // BuildWithIndex with the same graph (e.g. reloaded from its edge list)
-// to reuse the index. Prefer SaveIndexV2 for new files: its layout opens
-// without a decode step.
+// to reuse the index. Prefer SaveIndexV3 (compressed) or SaveIndexV2
+// (zero-copy mmap) for new files: both layouts open without an upfront
+// decode step.
 func (db *DB) SaveIndex(path string) error {
 	return db.eng().Storage().(indexSaver).Save(path)
 }
@@ -294,23 +295,33 @@ func (db *DB) SaveIndexV2(path string) error {
 	return db.eng().Storage().(indexSaver).SaveV2(path)
 }
 
-// indexSaver is satisfied by both heap-backed and mapped indexes (a
-// mapped index re-serializes straight from its mapped runs).
+// SaveIndexV3 persists the k-path index to a file in the
+// block-compressed format v3 (delta+varint packed runs), typically a
+// fraction of the v2 size. Open auto-detects it and serves scans by
+// block-granular decode-on-demand.
+func (db *DB) SaveIndexV3(path string) error {
+	return db.eng().Storage().(indexSaver).SaveV3(path)
+}
+
+// indexSaver is satisfied by every index storage (heap, mapped,
+// compressed, and overlay — the latter folds its delta first).
 type indexSaver interface {
 	Save(path string) error
 	SaveV2(path string) error
+	SaveV3(path string) error
 }
 
 // Open restores a ready-to-serve database from a graph edge-list file
-// and a format-v2 index file (written by SaveIndexV2 or the `rpq build`
-// command) without rebuilding anything: the index is memory-mapped and
-// queries scan it in place, so open time is independent of the relation
-// payload and cold starts are bounded by reading the graph file. The
-// returned DB serves exactly like one produced by Build with
-// zero-valued non-K Options; a DB built with explicit rewrite limits or
-// histogram resolution should be reopened with OpenWith and the same
-// Options to answer identically. Call Close to release the mapping when
-// done.
+// and an index file in format v2 or v3 (written by SaveIndexV2,
+// SaveIndexV3, or the `rpq build` command) without rebuilding anything:
+// the format is auto-detected, a v2 file is memory-mapped and scanned
+// in place, and a v3 file is served by block-granular decode-on-scan
+// over its compressed runs. Either way open time is independent of the
+// relation payload. The returned DB serves exactly like one produced by
+// Build with zero-valued non-K Options; a DB built with explicit
+// rewrite limits or histogram resolution should be reopened with
+// OpenWith and the same Options to answer identically. Call Close to
+// release the storage when done.
 func Open(graphPath, indexPath string) (*DB, error) {
 	return OpenWith(graphPath, indexPath, Options{})
 }
@@ -323,10 +334,11 @@ func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pathdb: loading graph: %w", err)
 	}
-	ix, err := pathindex.OpenMapped(indexPath, g)
+	ix, err := pathindex.OpenStorage(indexPath, g)
 	if err != nil {
 		return nil, err
 	}
+	closer, _ := ix.(io.Closer)
 	if opts.K == 0 {
 		opts.K = ix.K()
 	}
@@ -340,10 +352,12 @@ func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
 		MaxTotalSteps:    opts.MaxTotalSteps,
 	})
 	if err != nil {
-		ix.Close()
+		if closer != nil {
+			closer.Close()
+		}
 		return nil, err
 	}
-	return newDB(engine, ix, opts.CompactRatio), nil
+	return newDB(engine, closer, opts.CompactRatio), nil
 }
 
 // Close releases resources held by the database: for a DB produced by
@@ -474,9 +488,10 @@ func (db *DB) UpdateStats() UpdateStats {
 	return st
 }
 
-// MigrateIndex rewrites a saved index file (either format version) as
-// format v2 at dst, making it servable by Open. g must be the graph the
-// index was built from, exactly as for BuildWithIndex.
+// MigrateIndex rewrites a saved index file (any format version) as the
+// current serving format — block-compressed v3 — at dst, making it
+// servable by Open. g must be the graph the index was built from,
+// exactly as for BuildWithIndex.
 func MigrateIndex(src, dst string, g *Graph) error {
 	if g == nil {
 		return fmt.Errorf("pathdb: nil graph")
@@ -531,17 +546,40 @@ type IndexStats struct {
 	LabelPaths  int     // distinct non-empty label paths of length ≤ K
 	PathsKCount int     // |paths_k(G)|, the selectivity denominator
 	BuildMillis float64 // index construction time
+
+	// FileBytes is the on-disk size of the index for file-backed storage
+	// (v2 mapped or v3 compressed); 0 for heap-backed indexes.
+	FileBytes int
+	// CompressionRatio is uncompressed payload bytes (8 per entry) over
+	// FileBytes — ≈1 for v2, >1 for v3; 0 when FileBytes is 0.
+	CompressionRatio float64
+	// BlocksDecoded and BytesDecoded are cumulative decompression
+	// counters for v3 storage (see also Stats.BlocksDecoded for the
+	// per-query delta); 0 for storage that decodes nothing.
+	BlocksDecoded int64
+	BytesDecoded  int64
 }
 
 // IndexStats returns statistics about the index.
 func (db *DB) IndexStats() IndexStats {
-	st := db.eng().Storage().Stats()
-	return IndexStats{
+	storage := db.eng().Storage()
+	st := storage.Stats()
+	out := IndexStats{
 		Entries:     st.Entries,
 		LabelPaths:  st.LabelPaths,
 		PathsKCount: st.PathsKCount,
 		BuildMillis: float64(st.Duration.Microseconds()) / 1000.0,
 	}
+	if f, ok := storage.(interface{ FileBytes() int }); ok {
+		out.FileBytes = f.FileBytes()
+		if out.FileBytes > 0 {
+			out.CompressionRatio = float64(8*out.Entries) / float64(out.FileBytes)
+		}
+	}
+	if d, ok := storage.(interface{ DecodeStats() (int64, int64) }); ok {
+		out.BlocksDecoded, out.BytesDecoded = d.DecodeStats()
+	}
+	return out
 }
 
 // Selectivity returns the histogram's selectivity estimate for a label
