@@ -216,6 +216,9 @@ func runServe(cfg bench.Config, clients int, dur time.Duration, out string) erro
 		return err
 	}
 	fmt.Println(table.String())
+	if httpTable := bench.HTTPServeTable(rep); httpTable != nil {
+		fmt.Println(httpTable.String())
+	}
 	if out != "" {
 		if err := bench.WriteServeReport(rep, out); err != nil {
 			return err

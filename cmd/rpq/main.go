@@ -9,13 +9,23 @@
 //	    (-query RPQ | -explain RPQ | -stats)
 //
 //	rpq build -graph FILE -index FILE [-k 2] [-format v3]
-//	rpq serve -graph FILE -index FILE [-strategy minSupport] [-limit 20]
+//	rpq serve -graph FILE -index FILE [-strategy minSupport] [-limit 20] [-http ADDR]
 //
 // The build/serve pair exercises the save-once/open-many lifecycle:
 // `build` constructs the k-path index and writes it block-compressed in
 // format v3 (or uncompressed mmap-able v2 with -format v2); `serve`
 // auto-detects the format — mapping v2 zero-copy, decoding v3 block by
 // block on scan — and answers queries read from stdin, one per line.
+// A malformed query line is reported on stderr and serving continues;
+// non-zero exit is reserved for setup failures (bad flags, unreadable
+// graph or index) and input read errors.
+//
+// With -http the same database is served over HTTP instead (see
+// internal/httpserve: POST /query streams NDJSON result pairs,
+// /prepare + /execute are PREPARE/EXECUTE over the plan cache,
+// GET /explain prints plans, GET /stats reports counters). SIGINT and
+// SIGTERM trigger a graceful shutdown that drains in-flight queries
+// before the index is released.
 //
 // Examples:
 //
@@ -28,14 +38,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	pathdb "repro"
+	"repro/internal/httpserve"
 )
 
 func main() {
@@ -118,13 +133,16 @@ func runBuild(args []string) error {
 }
 
 // runServe implements `rpq serve`: memory-map a prebuilt index and
-// answer queries from stdin without ever rebuilding.
+// answer queries from stdin — or, with -http, over HTTP — without ever
+// rebuilding.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "edge-list file (required)")
 	indexPath := fs.String("index", "", "index file from `rpq build`, format v2 or v3 (required)")
 	strategyName := fs.String("strategy", "minSupport", "naive, semiNaive, minSupport, or minJoin")
 	limit := fs.Int("limit", 20, "maximum result pairs to print per query (0 = all)")
+	httpAddr := fs.String("http", "", "serve over HTTP on this address (e.g. :8080) instead of stdin")
+	httpDeadline := fs.Duration("http-deadline", 0, "default per-request execution deadline in HTTP mode (0 = none)")
 	fs.Parse(args)
 	if *graphPath == "" || *indexPath == "" {
 		return fmt.Errorf("-graph and -index are required")
@@ -143,29 +161,74 @@ func runServe(args []string) error {
 	fmt.Printf("opened %s in %.2f ms: k=%d, %d entries over %d label paths (no rebuild)\n",
 		*indexPath, float64(time.Since(t0).Microseconds())/1000.0, db.K(), st.Entries, st.LabelPaths)
 
-	srv := db.Serve(pathdb.ServeOptions{})
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		query := strings.TrimSpace(sc.Text())
-		if query == "" || strings.HasPrefix(query, "#") {
-			continue
-		}
-		res, err := srv.QueryWith(query, strategy)
-		if err != nil {
-			fmt.Printf("error: %v\n", err)
-			continue
-		}
-		printPairs(res, *limit)
-		fmt.Printf("%d pairs; exec %v\n", len(res.Pairs), res.Stats.ExecTime.Round(1000))
+	if *httpAddr != "" {
+		return serveHTTP(db, *httpAddr, *strategyName, *httpDeadline)
 	}
-	return sc.Err()
+	srv := db.Serve(pathdb.ServeOptions{})
+	return serveLines(srv, strategy, *limit, os.Stdin, os.Stdout, os.Stderr)
 }
 
-// printPairs renders a query's pair listing (sorted by name, truncated
+// serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then shuts
+// down gracefully: the listener closes, in-flight queries drain, and
+// only after that does the caller's deferred db.Close release the
+// index.
+func serveHTTP(db *pathdb.DB, addr, strategy string, deadline time.Duration) error {
+	hsrv, err := httpserve.New(db, httpserve.Options{
+		Strategy:       strategy,
+		DefaultTimeout: deadline,
+	})
+	if err != nil {
+		return err
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	errc := make(chan error, 1)
+	go func() { errc <- hsrv.ListenAndServe(addr) }()
+	fmt.Printf("serving HTTP on %s\n", addr)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("%v: draining in-flight queries\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hsrv.Shutdown(ctx)
+	}
+}
+
+// serveLines answers queries read line by line (of any length — no
+// scanner token limit) until EOF. A query that fails to parse, compile,
+// or execute is reported on errw and serving continues; only a read
+// failure on in aborts the loop. EOF exits cleanly, so non-zero exit
+// codes stay reserved for setup failures.
+func serveLines(srv *pathdb.Server, strategy pathdb.Strategy, limit int, in io.Reader, out, errw io.Writer) error {
+	r := bufio.NewReader(in)
+	for {
+		line, err := r.ReadString('\n')
+		query := strings.TrimSpace(line)
+		if query != "" && !strings.HasPrefix(query, "#") {
+			res, qerr := srv.QueryWith(query, strategy)
+			if qerr != nil {
+				fmt.Fprintf(errw, "error: %v\n", qerr)
+			} else {
+				fprintPairs(out, res, limit)
+				fmt.Fprintf(out, "%d pairs; exec %v\n", len(res.Pairs), res.Stats.ExecTime.Round(1000))
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// fprintPairs renders a query's pair listing (sorted by name, truncated
 // to limit); callers append their own statistics trailer. The default
 // command and `serve` share it so their listings stay line-identical.
-func printPairs(res *pathdb.Result, limit int) {
+func fprintPairs(w io.Writer, res *pathdb.Result, limit int) {
 	names := res.Names
 	sort.Slice(names, func(i, j int) bool {
 		if names[i][0] != names[j][0] {
@@ -178,10 +241,10 @@ func printPairs(res *pathdb.Result, limit int) {
 		shown = limit
 	}
 	for _, p := range names[:shown] {
-		fmt.Printf("%s -> %s\n", p[0], p[1])
+		fmt.Fprintf(w, "%s -> %s\n", p[0], p[1])
 	}
 	if shown < len(names) {
-		fmt.Printf("... (%d more)\n", len(names)-shown)
+		fmt.Fprintf(w, "... (%d more)\n", len(names)-shown)
 	}
 }
 
@@ -227,7 +290,7 @@ func run(graphPath string, k int, strategyName string, buckets int, query, expla
 		if err != nil {
 			return err
 		}
-		printPairs(res, limit)
+		fprintPairs(os.Stdout, res, limit)
 		disjuncts := fmt.Sprintf("%d disjuncts", res.Stats.Disjuncts)
 		if res.Stats.Closures > 0 {
 			disjuncts += fmt.Sprintf(" + %d closures", res.Stats.Closures)

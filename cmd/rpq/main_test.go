@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	pathdb "repro"
+)
+
+// serveLines must report per-line query errors and keep serving; only
+// EOF (clean) or a reader failure ends the loop.
+func TestServeLinesKeepsServingAfterErrors(t *testing.T) {
+	g := pathdb.NewGraph()
+	g.AddEdge("ada", "knows", "zoe")
+	g.AddEdge("zoe", "worksFor", "ada")
+	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := db.Serve(pathdb.ServeOptions{})
+
+	in := strings.NewReader("knows\n((broken\n# comment\n\nworksFor\n")
+	var out, errw strings.Builder
+	if err := serveLines(srv, pathdb.StrategyMinSupport, 0, in, &out, &errw); err != nil {
+		t.Fatalf("serveLines: %v", err)
+	}
+	if !strings.Contains(out.String(), "ada -> zoe") {
+		t.Errorf("first query missing from output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "zoe -> ada") {
+		t.Errorf("query after bad line missing from output:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "error:") {
+		t.Errorf("bad line not reported on errw: %q", errw.String())
+	}
+	if strings.Contains(out.String(), "error:") {
+		t.Errorf("error leaked onto out: %q", out.String())
+	}
+}
+
+// A line longer than any fixed scanner token limit must not abort the
+// session: it is just another bad (or even good) query line.
+func TestServeLinesHugeLine(t *testing.T) {
+	g := pathdb.NewGraph()
+	g.AddEdge("ada", "knows", "zoe")
+	db, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := db.Serve(pathdb.ServeOptions{})
+
+	huge := strings.Repeat("nosuchlabel|", 1<<18) + "nosuchlabel" // ~3 MiB line
+	in := strings.NewReader(huge + "\nknows\n")
+	var out, errw strings.Builder
+	if err := serveLines(srv, pathdb.StrategyMinSupport, 0, in, &out, &errw); err != nil {
+		t.Fatalf("serveLines: %v", err)
+	}
+	if !strings.Contains(out.String(), "ada -> zoe") {
+		t.Errorf("query after huge line missing from output:\n%s", out.String())
+	}
+}

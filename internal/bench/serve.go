@@ -83,6 +83,11 @@ type ServeReport struct {
 	DroppedUnservable []string     `json:"dropped_unservable,omitempty"`
 	DroppedOverBudget []string     `json:"dropped_over_budget,omitempty"`
 	Points            []ServePoint `json:"points"`
+	// HTTP holds the same traffic measured through the network front end
+	// (internal/httpserve): a live listener, POST /query per request, the
+	// full NDJSON stream read back. The gap to the in-process points is
+	// the cost of serving over HTTP.
+	HTTP []HTTPPoint `json:"http,omitempty"`
 	// CacheSpeedup is cached QPS over uncached QPS at one client: the
 	// throughput bought by memoizing the rewrite+plan pipeline alone.
 	CacheSpeedup float64 `json:"cache_speedup_1_client"`
@@ -313,9 +318,14 @@ func Serve(c ServeConfig) (*ServeReport, *Table, error) {
 			rep.CacheSpeedup = base / uncached.QPS
 		}
 	}
+	rep.HTTP, err = serveHTTPPoints(c, g, k, qs)
+	if err != nil {
+		return nil, nil, err
+	}
 	rep.Notes = append(rep.Notes,
 		"hit rate is request-level over the measured window (cache pre-warmed with one pass over the query mix)",
 		"aggregate QPS scales with clients only when gomaxprocs > 1; cache_speedup isolates the plan-cache gain at 1 client",
+		"http points measure the same Zipf mix through POST /query on a live listener, NDJSON streams read to completion",
 	)
 	if len(unservable) > 0 {
 		rep.Notes = append(rep.Notes, fmt.Sprintf(

@@ -40,6 +40,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -484,6 +485,18 @@ func (p *Prepared) Explain() string { return p.plan.Format(p.engine.g) }
 // statistics. Each call builds a fresh operator tree, so Execute may be
 // called repeatedly (e.g. by benchmarks).
 func (p *Prepared) Execute() (*Result, error) {
+	return p.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute under a cancellation scope: every operator
+// of the tree checks ctx at batch boundaries (the closure fixpoint and
+// BFS loops check mid-batch as well), so once ctx is done the whole
+// tree stops within about one batch per level and ExecuteContext
+// returns ctx's error. Partial results are never returned as an answer.
+func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	unpin, err := p.engine.pin()
 	if err != nil {
 		return nil, err
@@ -498,11 +511,15 @@ func (p *Prepared) Execute() (*Result, error) {
 	op, err := exec.Build(p.plan, p.engine.ix, exec.BuildOptions{
 		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
 		Reach:        p.engine,
+		Ctx:          ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building operators: %w", err)
 	}
-	pairs := exec.Run(op)
+	pairs, runErr := exec.RunContext(ctx, op)
+	if runErr != nil {
+		return nil, runErr
+	}
 	st := p.stats
 	st.ExecTime = time.Since(t0)
 	st.ResultPairs = len(pairs)
@@ -517,6 +534,73 @@ func (p *Prepared) Execute() (*Result, error) {
 		st.BytesDecoded = bytes1 - bytes0
 	}
 	return &Result{Pairs: pairs, Stats: st}, nil
+}
+
+// StreamContext runs the prepared plan and delivers the answer
+// incrementally: fn is called once per result batch, in stream order,
+// before the next batch is computed — the full answer is never
+// materialized on this side. The batch buffer is reused across calls,
+// so fn must copy any pairs it retains. A non-nil error from fn aborts
+// the run and is returned; once ctx is done the operators stop and
+// StreamContext returns ctx's error. The returned Stats describe the
+// run up to that point (ResultPairs counts the pairs delivered), so
+// streaming front ends can report them even for aborted requests.
+func (p *Prepared) StreamContext(ctx context.Context, fn func(batch []pathindex.Pair) error) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := p.stats
+	unpin, err := p.engine.pin()
+	if err != nil {
+		return st, err
+	}
+	defer unpin()
+	dec, hasDec := p.engine.ix.(decodeStatsProvider)
+	var blocks0, bytes0 int64
+	if hasDec {
+		blocks0, bytes0 = dec.DecodeStats()
+	}
+	t0 := time.Now()
+	op, err := exec.Build(p.plan, p.engine.ix, exec.BuildOptions{
+		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
+		Reach:        p.engine,
+		Ctx:          ctx,
+	})
+	if err != nil {
+		return st, fmt.Errorf("core: building operators: %w", err)
+	}
+	buf := make([]pathindex.Pair, exec.DefaultBatchSize)
+	total := 0
+	var runErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		n := op.NextBatch(buf)
+		if n == 0 {
+			runErr = ctx.Err()
+			break
+		}
+		total += n
+		if err := fn(buf[:n]); err != nil {
+			runErr = err
+			break
+		}
+	}
+	st.ExecTime = time.Since(t0)
+	st.ResultPairs = total
+	es := exec.CollectStats(op)
+	st.OperatorRows = es.RowsByOperator
+	st.OperatorBatches = es.BatchesByOperator
+	st.TotalIntermRows = es.TotalRows
+	st.TotalBatches = es.TotalBatches
+	if hasDec {
+		blocks1, bytes1 := dec.DecodeStats()
+		st.BlocksDecoded = blocks1 - blocks0
+		st.BytesDecoded = bytes1 - bytes0
+	}
+	return st, runErr
 }
 
 // decodeStatsProvider is the optional storage interface of compressed
@@ -542,6 +626,20 @@ func (e *Engine) EvalQuery(query string, strategy plan.Strategy) (*Result, error
 		return nil, err
 	}
 	return e.Eval(expr, strategy)
+}
+
+// EvalQueryContext is EvalQuery under a cancellation scope (see
+// Prepared.ExecuteContext for the cancellation contract).
+func (e *Engine) EvalQueryContext(ctx context.Context, query string, strategy plan.Strategy) (*Result, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := e.Compile(expr, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return prep.ExecuteContext(ctx)
 }
 
 // Explain parses and compiles a textual query and renders its plan.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -23,6 +24,18 @@ import (
 //
 // Targets are returned sorted ascending.
 func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, error) {
+	return e.EvalFromContext(context.Background(), expr, src)
+}
+
+// EvalFromContext is EvalFrom under a cancellation scope: the frontier
+// expansion checks ctx between segments (and periodically within large
+// frontiers), and the closure fixpoint checks it every BFS round, so a
+// runaway single-source closure stops promptly once ctx is done and
+// EvalFromContext returns ctx's error.
+func (e *Engine) EvalFromContext(ctx context.Context, expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if int(src) >= e.g.NumNodes() {
 		return nil, fmt.Errorf("core: source node %d out of range", src)
 	}
@@ -44,7 +57,11 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 		if !ok {
 			continue
 		}
-		for _, t := range e.expandPathFromSet([]graph.NodeID{src}, rp) {
+		targets, err := e.expandPathFromSet(ctx, []graph.NodeID{src}, rp)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range targets {
 			result[t] = true
 		}
 	}
@@ -57,7 +74,11 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 			result[src] = true
 			continue
 		}
-		for _, t := range e.evalSeqFromSet([]graph.NodeID{src}, rs) {
+		targets, err := e.evalSeqFromSet(ctx, []graph.NodeID{src}, rs)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range targets {
 			result[t] = true
 		}
 	}
@@ -71,8 +92,9 @@ func (e *Engine) EvalFrom(expr rpq.Expr, src graph.NodeID) ([]graph.NodeID, erro
 
 // expandPathFromSet expands a frontier of nodes through the disjunct's
 // greedy length-k segments, deduplicating the frontier between segments.
-// It returns the distinct targets (unordered).
-func (e *Engine) expandPathFromSet(frontier []graph.NodeID, d pathindex.Path) []graph.NodeID {
+// It returns the distinct targets (unordered). ctx is checked between
+// segments and every 256 frontier nodes within one.
+func (e *Engine) expandPathFromSet(ctx context.Context, frontier []graph.NodeID, d pathindex.Path) ([]graph.NodeID, error) {
 	cur := frontier
 	for start := 0; start < len(d); start += e.opts.K {
 		end := start + e.opts.K
@@ -81,7 +103,12 @@ func (e *Engine) expandPathFromSet(frontier []graph.NodeID, d pathindex.Path) []
 		}
 		seg := d[start:end]
 		next := map[graph.NodeID]bool{}
-		for _, n := range cur {
+		for i, n := range cur {
+			if i&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			// SrcRange hands back the ⟨seg, n⟩ run of the index as one
 			// zero-copy slice; walking it directly avoids per-pair
 			// iterator calls.
@@ -90,32 +117,36 @@ func (e *Engine) expandPathFromSet(frontier []graph.NodeID, d pathindex.Path) []
 			}
 		}
 		if len(next) == 0 {
-			return nil
+			return nil, nil
 		}
 		cur = make([]graph.NodeID, 0, len(next))
 		for t := range next {
 			cur = append(cur, t)
 		}
 	}
-	return cur
+	return cur, nil
 }
 
 // evalSeqFromSet expands a frontier through a resolved star-factored
 // sequence: fixed segments via the index's prefix lookups, closure
 // factors via closeFromSet.
-func (e *Engine) evalSeqFromSet(frontier []graph.NodeID, s plan.Seq) []graph.NodeID {
+func (e *Engine) evalSeqFromSet(ctx context.Context, frontier []graph.NodeID, s plan.Seq) ([]graph.NodeID, error) {
 	cur := frontier
 	for _, el := range s.Elems {
+		var err error
 		if !el.IsStar() {
-			cur = e.expandPathFromSet(cur, el.Seg)
+			cur, err = e.expandPathFromSet(ctx, cur, el.Seg)
 		} else {
-			cur = e.closeFromSet(cur, el.Star)
+			cur, err = e.closeFromSet(ctx, cur, el.Star)
+		}
+		if err != nil {
+			return nil, err
 		}
 		if len(cur) == 0 {
-			return nil
+			return nil, nil
 		}
 	}
-	return cur
+	return cur, nil
 }
 
 // closeFromSet computes the closure of a node set under a union of body
@@ -123,7 +154,9 @@ func (e *Engine) evalSeqFromSet(frontier []graph.NodeID, s plan.Seq) []graph.Nod
 // body expansions have not been explored yet; newly reached nodes join
 // both the visited set and the work list, and the loop terminates when
 // an iteration discovers nothing (at most |V| discoveries in total).
-func (e *Engine) closeFromSet(nodes []graph.NodeID, body []plan.Seq) []graph.NodeID {
+// ctx is checked once per BFS round on top of the per-segment checks
+// inside the body expansions.
+func (e *Engine) closeFromSet(ctx context.Context, nodes []graph.NodeID, body []plan.Seq) ([]graph.NodeID, error) {
 	visited := make(map[graph.NodeID]bool, len(nodes))
 	work := make([]graph.NodeID, 0, len(nodes))
 	for _, n := range nodes {
@@ -133,9 +166,16 @@ func (e *Engine) closeFromSet(nodes []graph.NodeID, body []plan.Seq) []graph.Nod
 		}
 	}
 	for len(work) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next []graph.NodeID
 		for _, bs := range body {
-			for _, t := range e.evalSeqFromSet(work, bs) {
+			targets, err := e.evalSeqFromSet(ctx, work, bs)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range targets {
 				if !visited[t] {
 					visited[t] = true
 					next = append(next, t)
@@ -148,12 +188,18 @@ func (e *Engine) closeFromSet(nodes []graph.NodeID, body []plan.Seq) []graph.Nod
 	for t := range visited {
 		out = append(out, t)
 	}
-	return out
+	return out, nil
 }
 
 // EvalQueryFrom parses query and computes its single-source answer from
 // the named node.
 func (e *Engine) EvalQueryFrom(query, srcName string) ([]string, error) {
+	return e.EvalQueryFromContext(context.Background(), query, srcName)
+}
+
+// EvalQueryFromContext is EvalQueryFrom under a cancellation scope (see
+// EvalFromContext).
+func (e *Engine) EvalQueryFromContext(ctx context.Context, query, srcName string) ([]string, error) {
 	expr, err := rpq.Parse(query)
 	if err != nil {
 		return nil, err
@@ -162,7 +208,7 @@ func (e *Engine) EvalQueryFrom(query, srcName string) ([]string, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown node %q", srcName)
 	}
-	targets, err := e.EvalFrom(expr, src)
+	targets, err := e.EvalFromContext(ctx, expr, src)
 	if err != nil {
 		return nil, err
 	}

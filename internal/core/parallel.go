@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,8 +19,19 @@ import (
 // histogram are immutable after construction, so concurrent scans are
 // safe. Statistics cover the merged run but omit per-operator rows.
 func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
+	return p.ExecuteParallelContext(context.Background(), workers)
+}
+
+// ExecuteParallelContext is ExecuteParallel under a cancellation scope:
+// every worker's operator tree checks ctx at batch boundaries, so once
+// ctx is done all workers wind down within about one batch each and the
+// merged partial result is discarded in favor of ctx's error.
+func (p *Prepared) ExecuteParallelContext(ctx context.Context, workers int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 2 || len(p.plan.Disjuncts) < 2 {
-		return p.Execute()
+		return p.ExecuteContext(ctx)
 	}
 	unpin, err := p.engine.pin()
 	if err != nil {
@@ -29,6 +41,7 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 	buildOpts := exec.BuildOptions{
 		PerJoinDedup: !p.engine.opts.NoIntermediateDedup,
 		Reach:        p.engine,
+		Ctx:          ctx,
 	}
 
 	type chunk struct {
@@ -103,6 +116,9 @@ func (p *Prepared) ExecuteParallel(workers int) (*Result, error) {
 				out = append(out, pr)
 			}
 		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
 	}
 	if firstErr != nil {
 		return nil, firstErr

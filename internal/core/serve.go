@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -312,6 +313,19 @@ func (s *Server) Query(query string, strategy plan.Strategy) (*Result, error) {
 		return nil, err
 	}
 	return prep.Execute()
+}
+
+// QueryContext is Query under a cancellation scope: once ctx is done
+// the execution's operators stop at their next batch boundary and the
+// ctx error is returned. Preparation (parse/rewrite/plan) is not
+// interrupted — it is bounded by the engine's expansion limits, not by
+// data size.
+func (s *Server) QueryContext(ctx context.Context, query string, strategy plan.Strategy) (*Result, error) {
+	prep, err := s.Prepare(query, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return prep.ExecuteContext(ctx)
 }
 
 // Eval prepares (via the cache) and executes a parsed expression.

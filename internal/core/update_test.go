@@ -241,6 +241,51 @@ func TestServeEpochInvalidation(t *testing.T) {
 	}
 }
 
+// TestServeNegativeEpochInvalidation: memoized compile failures are
+// epoch-stamped like compiled plans, and a stale negative entry must
+// not outlive an epoch bump — after ApplyBatch swaps the engine, a
+// repeat of the failing query must re-run the pipeline (NegativeHits
+// unchanged across the bump) and only then be re-memoized at the new
+// epoch.
+func TestServeNegativeEpochInvalidation(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.Freeze()
+	cur := newTestEngine(t, g, 2)
+	s := NewServer(EngineSourceFunc(func() *Engine { return cur }), ServeOptions{CacheCapacity: 32})
+
+	const bad = "a{3" // malformed: unclosed repetition
+	if _, err := s.Query(bad, plan.MinSupport); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := s.Query(bad, plan.MinSupport); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if hits := s.Stats().NegativeHits; hits != 1 {
+		t.Fatalf("warm repeat at the same epoch: NegativeHits = %d, want 1", hits)
+	}
+
+	next, err := cur.ApplyBatch([]graph.LabeledEdge{{Src: "y", Label: "a", Dst: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur = next
+	if _, err := s.Query(bad, plan.MinSupport); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if hits := s.Stats().NegativeHits; hits != 1 {
+		t.Fatalf("stale negative entry served across an epoch swap: NegativeHits = %d, want 1", hits)
+	}
+	// The re-run failure is memoized at the new epoch: the next repeat
+	// is a negative hit again.
+	if _, err := s.Query(bad, plan.MinSupport); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if hits := s.Stats().NegativeHits; hits != 2 {
+		t.Fatalf("failure not re-memoized at the new epoch: NegativeHits = %d, want 2", hits)
+	}
+}
+
 // TestServeNegativeCapacitySeparation: a flood of distinct failing
 // queries must age out only other negative entries — hot compiled plans
 // stay cached — and the flood must be visible in NegativeEvictions.

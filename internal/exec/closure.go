@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -47,11 +48,15 @@ type Closure struct {
 	outPos   int
 	inputIn  input
 	done     bool
+	ctx      context.Context
+	steps    int // fixpoint steps since the last cancellation check
 	iters    int
 	rows     int
 	batches  int
 	emitSize int
 }
+
+func (c *Closure) setContext(ctx context.Context) { c.ctx = ctx }
 
 // NewClosure returns a fixpoint closure of body applied to input with
 // default-size buffers.
@@ -141,7 +146,7 @@ func (c *Closure) step() bool {
 
 // NextBatch implements Operator.
 func (c *Closure) NextBatch(buf []Pair) int {
-	if len(buf) == 0 {
+	if len(buf) == 0 || cancelled(c.ctx) {
 		return 0
 	}
 	n := 0
@@ -155,6 +160,13 @@ func (c *Closure) NextBatch(buf []Pair) int {
 		c.out = c.out[:0]
 		c.outPos = 0
 		if c.done {
+			break
+		}
+		// Duplicate-heavy fixpoints can run many steps without a single
+		// emission, so the batch boundary alone is not a reliable
+		// cancellation point — re-check the context every 256 steps.
+		c.steps++
+		if c.steps&255 == 0 && cancelled(c.ctx) {
 			break
 		}
 		if !c.step() {
@@ -208,10 +220,13 @@ type StreamClosure struct {
 	qi      int // emission/expansion cursor into queue
 	curSrc  graph.NodeID
 
+	ctx     context.Context
 	sources int
 	rows    int
 	batches int
 }
+
+func (c *StreamClosure) setContext(ctx context.Context) { c.ctx = ctx }
 
 // NewStreamClosure returns a streaming closure of body applied to input
 // over a graph of numNodes nodes.
@@ -276,7 +291,7 @@ func (c *StreamClosure) nextSource() bool {
 
 // NextBatch implements Operator.
 func (c *StreamClosure) NextBatch(buf []Pair) int {
-	if len(buf) == 0 {
+	if len(buf) == 0 || cancelled(c.ctx) {
 		return 0
 	}
 	if !c.started {
@@ -328,9 +343,12 @@ func (c *StreamClosure) Name() string { return "closure-stream" }
 // output. Output is grouped by component pair, not sorted.
 type ReachScan struct {
 	it      *reachability.PairIterator
+	ctx     context.Context
 	rows    int
 	batches int
 }
+
+func (s *ReachScan) setContext(ctx context.Context) { s.ctx = ctx }
 
 // NewReachScan returns a scan over the index's closure relation.
 func NewReachScan(ix *reachability.Index) *ReachScan {
@@ -339,7 +357,7 @@ func NewReachScan(ix *reachability.Index) *ReachScan {
 
 // NextBatch implements Operator.
 func (s *ReachScan) NextBatch(buf []Pair) int {
-	if len(buf) == 0 {
+	if len(buf) == 0 || cancelled(s.ctx) {
 		return 0
 	}
 	n := s.it.Next(buf)
@@ -364,17 +382,17 @@ func (s *ReachScan) Name() string { return "reach-scan" }
 // Distinct so repeated body pairs are materialized once. streamed
 // selects the output-sensitive per-source BFS operator over the
 // pair-materializing fixpoint.
-func buildClosure(input Operator, body []Operator, batchSize int, streamed bool, numNodes int) Operator {
+func buildClosure(input Operator, body []Operator, batchSize int, streamed bool, numNodes int, ctx context.Context) Operator {
 	var b Operator
 	if len(body) == 1 {
-		b = NewDistinctSized(body[0], batchSize)
+		b = WithContext(NewDistinctSized(body[0], batchSize), ctx)
 	} else {
-		b = NewUnionDistinctSized(body, batchSize)
+		b = WithContext(NewUnionDistinctSized(body, batchSize), ctx)
 	}
 	if streamed {
-		return NewStreamClosure(input, b, numNodes)
+		return WithContext(NewStreamClosure(input, b, numNodes), ctx)
 	}
-	return NewClosureSized(input, b, batchSize)
+	return WithContext(NewClosureSized(input, b, batchSize), ctx)
 }
 
 var errNoReachProvider = fmt.Errorf("exec: plan contains a reach-scan but BuildOptions.Reach is nil")

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -87,6 +88,14 @@ type BuildOptions struct {
 	// restricted-closure fast path). Required when the plan contains
 	// them; plans without closures never consult it.
 	Reach ReachProvider
+	// Ctx, when non-nil, is checked by every operator at batch
+	// boundaries (and periodically inside the closure fixpoint and BFS
+	// loops): once it is done, operators stop producing and return 0,
+	// so the whole tree winds down within one batch per level. A
+	// cancelled stream terminates early rather than at exhaustion —
+	// drain with RunContext (or check ctx after the drain) so partial
+	// results are never mistaken for the answer.
+	Ctx context.Context
 }
 
 func (o BuildOptions) batchSize() int {
@@ -96,12 +105,43 @@ func (o BuildOptions) batchSize() int {
 	return o.BatchSize
 }
 
+// cancelled reports whether ctx is done. Operators consult it once per
+// batch boundary; the nil-ctx default costs a single comparison, so
+// uncancellable trees pay nothing measurable.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// contextual is implemented by operators that honor batch-boundary
+// cancellation.
+type contextual interface{ setContext(ctx context.Context) }
+
+// WithContext attaches ctx to op so its NextBatch stops producing once
+// ctx is done. Trees built via Build inherit BuildOptions.Ctx on every
+// node automatically; this is for operators constructed directly.
+func WithContext(op Operator, ctx context.Context) Operator {
+	if ctx != nil {
+		if c, ok := op.(contextual); ok {
+			c.setContext(ctx)
+		}
+	}
+	return op
+}
+
 // Build translates a physical plan into an operator tree over ix. The
 // identity (ε) disjunct enumerates all graph nodes.
 func Build(p *plan.Plan, ix pathindex.Storage, opts BuildOptions) (Operator, error) {
 	var ops []Operator
 	if p.HasEpsilon {
-		ops = append(ops, NewIdentityScan(ix.Graph()))
+		ops = append(ops, WithContext(NewIdentityScan(ix.Graph()), opts.Ctx))
 	}
 	for _, d := range p.Disjuncts {
 		op, err := buildNode(d, ix, opts)
@@ -118,7 +158,7 @@ func Build(p *plan.Plan, ix pathindex.Storage, opts BuildOptions) (Operator, err
 			return sc, nil
 		}
 	}
-	return NewUnionDistinctSized(ops, opts.batchSize()), nil
+	return WithContext(NewUnionDistinctSized(ops, opts.batchSize()), opts.Ctx), nil
 }
 
 func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, error) {
@@ -127,7 +167,7 @@ func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, 
 		if len(v.Segment) > ix.K() {
 			return nil, fmt.Errorf("exec: segment %v longer than index k=%d", v.Segment, ix.K())
 		}
-		return newSegmentScan(ix, v.Segment, v.Inverted), nil
+		return WithContext(newSegmentScan(ix, v.Segment, v.Inverted), opts.Ctx), nil
 	case *plan.Join:
 		left, err := buildNode(v.Left, ix, opts)
 		if err != nil {
@@ -143,8 +183,9 @@ func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, 
 		} else {
 			join = NewHashJoinSized(left, right, v.BuildRight, opts.batchSize())
 		}
+		join = WithContext(join, opts.Ctx)
 		if opts.PerJoinDedup {
-			join = NewDistinctSized(join, opts.batchSize())
+			join = WithContext(NewDistinctSized(join, opts.batchSize()), opts.Ctx)
 		}
 		return join, nil
 	case *plan.Closure:
@@ -164,7 +205,7 @@ func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, 
 			}
 			body[i] = op
 		}
-		return buildClosure(input, body, opts.batchSize(), v.Streamed, ix.Graph().NumNodes()), nil
+		return buildClosure(input, body, opts.batchSize(), v.Streamed, ix.Graph().NumNodes(), opts.Ctx), nil
 	case *plan.Reach:
 		if opts.Reach == nil {
 			return nil, errNoReachProvider
@@ -173,7 +214,7 @@ func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, 
 		if err != nil {
 			return nil, fmt.Errorf("exec: building reachability index: %w", err)
 		}
-		return NewReachScan(rix), nil
+		return WithContext(NewReachScan(rix), opts.Ctx), nil
 	default:
 		return nil, fmt.Errorf("exec: unknown plan node %T", n)
 	}
@@ -201,6 +242,28 @@ func RunSized(op Operator, batchSize int) []Pair {
 	}
 }
 
+// RunContext drains an operator like Run, but returns ctx's error as
+// soon as the context is done. Cancelled operators stop by returning 0,
+// which is indistinguishable from exhaustion inside the tree — the
+// final ctx check here is what keeps a cancelled drain from passing off
+// its partial pairs as the full answer. The pairs collected before
+// cancellation are returned alongside the error for callers that stream
+// them; callers that materialize must discard them on error.
+func RunContext(ctx context.Context, op Operator) ([]Pair, error) {
+	buf := make([]Pair, DefaultBatchSize)
+	var out []Pair
+	for {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		n := op.NextBatch(buf)
+		if n == 0 {
+			return out, ctx.Err()
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
 // IndexScan streams one segment's relation from the index by decoding its
 // sorted packed blocks into the batch buffer — no per-pair calls and no
 // intermediate allocation. With swap=true it physically scans the
@@ -212,9 +275,12 @@ type IndexScan struct {
 	block   []pathindex.Packed
 	off     int
 	swap    bool
+	ctx     context.Context
 	rows    int
 	batches int
 }
+
+func (s *IndexScan) setContext(ctx context.Context) { s.ctx = ctx }
 
 // runBlocksProvider is the optional storage interface of delta-overlay
 // indexes (pathindex.Overlay): a relation split into a base-run block
@@ -276,6 +342,9 @@ func NewIndexScanBlocks(blocks *pathindex.BlockIterator, swap bool) *IndexScan {
 
 // NextBatch implements Operator.
 func (s *IndexScan) NextBatch(buf []Pair) int {
+	if cancelled(s.ctx) {
+		return 0
+	}
 	n := 0
 	for n < len(buf) {
 		if s.off == len(s.block) {
@@ -333,9 +402,12 @@ type MergeUnionScan struct {
 	i, j        int
 	blocks      *pathindex.BlockIterator // non-nil: base arrives block-wise
 	swap        bool
+	ctx         context.Context
 	rows        int
 	batches     int
 }
+
+func (s *MergeUnionScan) setContext(ctx context.Context) { s.ctx = ctx }
 
 // NewMergeUnionScan returns a merge-union scan over two sorted disjoint
 // runs. With swap=true the caller passes the runs of the inverse path
@@ -368,6 +440,9 @@ func (s *MergeUnionScan) fillBase() {
 
 // NextBatch implements Operator.
 func (s *MergeUnionScan) NextBatch(buf []Pair) int {
+	if cancelled(s.ctx) {
+		return 0
+	}
 	n := 0
 	for n < len(buf) {
 		s.fillBase()
@@ -413,9 +488,12 @@ func (s *MergeUnionScan) Name() string { return "merge-union-scan" }
 // disjunct.
 type IdentityScan struct {
 	n, total int
+	ctx      context.Context
 	rows     int
 	batches  int
 }
+
+func (s *IdentityScan) setContext(ctx context.Context) { s.ctx = ctx }
 
 // NewIdentityScan returns an identity scan over g's nodes.
 func NewIdentityScan(g *graph.Graph) *IdentityScan {
@@ -424,6 +502,9 @@ func NewIdentityScan(g *graph.Graph) *IdentityScan {
 
 // NextBatch implements Operator.
 func (s *IdentityScan) NextBatch(buf []Pair) int {
+	if cancelled(s.ctx) {
+		return 0
+	}
 	n := 0
 	for n < len(buf) && s.n < s.total {
 		id := graph.NodeID(s.n)
@@ -548,9 +629,12 @@ type MergeJoin struct {
 	groupSrcs []graph.NodeID // left sources for the current key
 	groupDsts []graph.NodeID // right targets for the current key
 	gi, gj    int
+	ctx       context.Context
 	rows      int
 	batches   int
 }
+
+func (m *MergeJoin) setContext(ctx context.Context) { m.ctx = ctx }
 
 // NewMergeJoin returns a merge join of left and right with default batch
 // buffers.
@@ -625,6 +709,9 @@ func collectRightGroup(in *input, k graph.NodeID, dst []graph.NodeID) []graph.No
 
 // NextBatch implements Operator.
 func (m *MergeJoin) NextBatch(buf []Pair) int {
+	if cancelled(m.ctx) {
+		return 0
+	}
 	n := 0
 	for {
 		// Emit from the current group cross product.
@@ -690,9 +777,12 @@ type HashJoin struct {
 	cur     Pair // current probe row
 	matches []graph.NodeID
 	mi      int
+	ctx     context.Context
 	rows    int
 	batches int
 }
+
+func (h *HashJoin) setContext(ctx context.Context) { h.ctx = ctx }
 
 // NewHashJoin returns a hash join; buildRight selects the hashed side.
 func NewHashJoin(left, right Operator, buildRight bool) *HashJoin {
@@ -743,6 +833,9 @@ func (h *HashJoin) build() {
 
 // NextBatch implements Operator.
 func (h *HashJoin) NextBatch(buf []Pair) int {
+	if cancelled(h.ctx) {
+		return 0
+	}
 	if !h.built {
 		h.build()
 	}
@@ -838,9 +931,12 @@ type UnionDistinct struct {
 	i         int
 	d         dedup
 	batchSize int
+	ctx       context.Context
 	rows      int
 	batches   int
 }
+
+func (u *UnionDistinct) setContext(ctx context.Context) { u.ctx = ctx }
 
 // NewUnionDistinct returns a deduplicating union of the children with
 // default-size child batches.
@@ -861,7 +957,7 @@ func (u *UnionDistinct) children() []Operator { return u.kids }
 
 // NextBatch implements Operator.
 func (u *UnionDistinct) NextBatch(buf []Pair) int {
-	if len(buf) == 0 {
+	if len(buf) == 0 || cancelled(u.ctx) {
 		return 0
 	}
 	n := 0
@@ -900,9 +996,12 @@ type Distinct struct {
 	done      bool
 	d         dedup
 	batchSize int
+	ctx       context.Context
 	rows      int
 	batches   int
 }
+
+func (d *Distinct) setContext(ctx context.Context) { d.ctx = ctx }
 
 // NewDistinct returns a deduplicating wrapper around child with
 // default-size child batches.
@@ -923,7 +1022,7 @@ func (d *Distinct) children() []Operator { return []Operator{d.child} }
 
 // NextBatch implements Operator.
 func (d *Distinct) NextBatch(buf []Pair) int {
-	if len(buf) == 0 {
+	if len(buf) == 0 || cancelled(d.ctx) {
 		return 0
 	}
 	n := 0

@@ -29,6 +29,7 @@
 package pathdb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -147,8 +148,10 @@ type DB struct {
 	mu           sync.Mutex
 	compactRatio float64
 	compacting   atomic.Bool
-	batches      atomic.Int64 // ApplyBatch calls that produced a new epoch
-	compactions  atomic.Int64 // completed compactions
+	closed       atomic.Bool    // set by Close; stops new background compactions
+	compactWG    sync.WaitGroup // in-flight background compactions, awaited by Close
+	batches      atomic.Int64   // ApplyBatch calls that produced a new epoch
+	compactions  atomic.Int64   // completed compactions
 
 	// baseCloser releases the storage opened with the DB (the mapped
 	// index file of Open); update snapshots layer over it without
@@ -230,10 +233,25 @@ func (db *DB) Query(query string) (*Result, error) {
 	return db.QueryWith(query, db.DefaultStrategy())
 }
 
+// QueryContext is Query under a cancellation scope: once ctx is done —
+// cancelled or past its deadline — every operator of the running tree
+// stops at its next batch boundary (the closure fixpoint and BFS loops
+// check mid-batch as well) and ctx's error is returned. A cancelled
+// query never returns partial pairs as an answer.
+func (db *DB) QueryContext(ctx context.Context, query string) (*Result, error) {
+	return db.QueryWithContext(ctx, query, db.DefaultStrategy())
+}
+
 // QueryWith evaluates an RPQ under an explicit strategy.
 func (db *DB) QueryWith(query string, strategy Strategy) (*Result, error) {
+	return db.QueryWithContext(context.Background(), query, strategy)
+}
+
+// QueryWithContext is QueryWith under a cancellation scope (see
+// QueryContext).
+func (db *DB) QueryWithContext(ctx context.Context, query string, strategy Strategy) (*Result, error) {
 	e := db.eng()
-	res, err := e.EvalQuery(query, strategy)
+	res, err := e.EvalQueryContext(ctx, query, strategy)
 	if err != nil {
 		return nil, err
 	}
@@ -253,10 +271,24 @@ func (db *DB) QueryFrom(query, source string) ([]string, error) {
 	return db.eng().EvalQueryFrom(query, source)
 }
 
+// QueryFromContext is QueryFrom under a cancellation scope: the
+// sideways frontier expansion and its closure fixpoint check ctx
+// between segments and BFS rounds.
+func (db *DB) QueryFromContext(ctx context.Context, query, source string) ([]string, error) {
+	return db.eng().EvalQueryFromContext(ctx, query, source)
+}
+
 // QueryParallel evaluates an RPQ with the disjuncts of its expansion
 // executed concurrently by up to `workers` goroutines. Results equal
 // QueryWith's up to order.
 func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Result, error) {
+	return db.QueryParallelContext(context.Background(), query, strategy, workers)
+}
+
+// QueryParallelContext is QueryParallel under a cancellation scope:
+// every worker's operator tree checks ctx at batch boundaries, so
+// cancellation winds down all workers within about one batch each.
+func (db *DB) QueryParallelContext(ctx context.Context, query string, strategy Strategy, workers int) (*Result, error) {
 	expr, err := rpq.Parse(query)
 	if err != nil {
 		return nil, err
@@ -266,7 +298,7 @@ func (db *DB) QueryParallel(query string, strategy Strategy, workers int) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	res, err := prep.ExecuteParallel(workers)
+	res, err := prep.ExecuteParallelContext(ctx, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -367,9 +399,19 @@ func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
 // still read the mapping afterwards fail with ErrIndexClosed instead
 // of faulting. Note that a Compact (explicit or automatic) folds the
 // index onto the heap — after it, the DB no longer reads the file, so
-// Close merely unmaps it and queries continue to work. Close on a
-// Build-produced DB is a no-op.
+// Close merely unmaps it and queries continue to work. Close also
+// synchronizes with the automatic background compaction
+// (Options.CompactRatio): compactions that have not started are
+// stopped and one in flight is waited out before the storage is
+// released. Close on a Build-produced DB releases nothing but still
+// performs that synchronization.
 func (db *DB) Close() error {
+	// Stop background compactions first: a compaction that has not
+	// started yet observes closed and backs off; one in flight is waited
+	// out, so it can never swap a fresh engine into a closed DB or touch
+	// the mapping mid-release.
+	db.closed.Store(true)
+	db.compactWG.Wait()
 	if db.baseCloser != nil {
 		return db.baseCloser.Close()
 	}
@@ -425,8 +467,17 @@ func (db *DB) maybeCompact() {
 	if !db.compacting.CompareAndSwap(false, true) {
 		return
 	}
+	// The WaitGroup is bumped here, before the goroutine exists, so
+	// Close (which sets closed and then waits) either observes the count
+	// and waits the compaction out, or the goroutine observes closed and
+	// backs off — an engine can never be swapped into a closed DB.
+	db.compactWG.Add(1)
 	go func() {
+		defer db.compactWG.Done()
 		defer db.compacting.Store(false)
+		if db.closed.Load() {
+			return
+		}
 		// A failed background compaction (e.g. the DB was closed under
 		// it) is dropped; the overlay keeps serving correctly and the
 		// next ApplyBatch re-triggers.
@@ -669,11 +720,22 @@ func (s *Server) Query(query string) (*Result, error) {
 // QueryWith evaluates an RPQ under an explicit strategy, using the plan
 // cache.
 func (s *Server) QueryWith(query string, strategy Strategy) (*Result, error) {
+	return s.QueryWithContext(context.Background(), query, strategy)
+}
+
+// QueryContext is Query under a cancellation scope (see DB.QueryContext
+// for the cancellation contract).
+func (s *Server) QueryContext(ctx context.Context, query string) (*Result, error) {
+	return s.QueryWithContext(ctx, query, s.strategy)
+}
+
+// QueryWithContext is QueryWith under a cancellation scope.
+func (s *Server) QueryWithContext(ctx context.Context, query string, strategy Strategy) (*Result, error) {
 	prep, err := s.srv.Prepare(query, strategy)
 	if err != nil {
 		return nil, err
 	}
-	res, err := prep.Execute()
+	res, err := prep.ExecuteContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -685,6 +747,50 @@ func (s *Server) QueryWith(query string, strategy Strategy) (*Result, error) {
 		Stats: res.Stats,
 	}, nil
 }
+
+// Stats describes one query evaluation (timings, plan estimates,
+// cardinalities); it is the type of Result.Stats and of the statistics
+// StreamWith returns.
+type Stats = core.Stats
+
+// StreamWith evaluates an RPQ and delivers the answer incrementally:
+// fn is called once per result batch, in stream order, before the next
+// batch is computed — the full answer is never materialized by the
+// server. pairs and names share indexes and are reused across calls, so
+// fn must copy anything it retains. A non-nil error from fn aborts the
+// evaluation and is returned; once ctx is done the operators stop and
+// ctx's error is returned. The returned Stats describe the run up to
+// that point (ResultPairs counts pairs actually delivered), so callers
+// can report them for aborted requests too. Preparation rides the plan
+// cache exactly like QueryWith.
+func (s *Server) StreamWith(ctx context.Context, query string, strategy Strategy, fn func(pairs []Pair, names [][2]string) error) (Stats, error) {
+	prep, err := s.srv.Prepare(query, strategy)
+	if err != nil {
+		return Stats{}, err
+	}
+	e := prep.Engine()
+	return prep.StreamContext(ctx, func(batch []Pair) error {
+		return fn(batch, e.NamedPairs(batch))
+	})
+}
+
+// ExplainWith returns the physical plan text for query under strategy,
+// riding the plan cache like QueryWith (an explain of a hot query costs
+// a cache hit, not a replan).
+func (s *Server) ExplainWith(query string, strategy Strategy) (string, error) {
+	prep, err := s.srv.Prepare(query, strategy)
+	if err != nil {
+		return "", err
+	}
+	return prep.Explain(), nil
+}
+
+// Strategy returns the server's default strategy (fixed at Serve time).
+func (s *Server) Strategy() Strategy { return s.strategy }
+
+// Epoch returns the epoch of the engine snapshot new requests would run
+// against right now.
+func (s *Server) Epoch() uint64 { return s.srv.Engine().Epoch() }
 
 // Stats returns a snapshot of the server's request and cache counters.
 func (s *Server) Stats() ServeStats { return s.srv.Stats() }

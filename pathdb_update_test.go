@@ -206,6 +206,65 @@ func TestAutoCompaction(t *testing.T) {
 	}
 }
 
+// TestCloseDuringAutoCompaction is the Close-vs-background-compaction
+// regression test: a tiny CompactRatio makes every ApplyBatch spawn an
+// asynchronous Compact, and Close must either cancel a compaction that
+// has not started or wait out one that has — never unmap the base index
+// from under it. Run under -race in CI.
+func TestCloseDuringAutoCompaction(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	// Several open/close cycles to hit different interleavings: closing
+	// right after the ApplyBatch that spawned the compaction, and after
+	// a short delay that lets it get into the merge.
+	for round := 0; round < 8; round++ {
+		g, err := pathdb.LoadGraph(graphPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := pathdb.Build(g, pathdb.Options{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexPath := filepath.Join(t.TempDir(), "graph.pix")
+		if err := built.SaveIndexV2(indexPath); err != nil {
+			t.Fatal(err)
+		}
+		db, err := pathdb.OpenWith(graphPath, indexPath, pathdb.Options{K: 2, CompactRatio: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1+round%3; i++ {
+			edge := pathdb.LabeledEdge{Src: fmt.Sprintf("new%d", i), Label: "knows", Dst: "ada"}
+			if err := db.ApplyBatch([]pathdb.LabeledEdge{edge}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round%2 == 1 {
+			time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// By the time Close returns the compaction either never started
+		// (cancelled) or ran to completion (waited out). Cancelled leaves
+		// the engine on the now-unmapped base, so operations fail with
+		// ErrIndexClosed; completed leaves it on the heap, so they still
+		// work (the documented Close semantics). Torn state — a fault, a
+		// wrong answer, a race report — is the bug this test exists for.
+		res, err := db.Query("knows")
+		if err != nil {
+			if !strings.Contains(err.Error(), "closed") {
+				t.Fatalf("query after Close returned %v, want success or index-closed error", err)
+			}
+		} else if len(res.Pairs) == 0 {
+			t.Fatal("query after Close-with-completed-compaction lost the relation")
+		}
+		if err := db.ApplyBatch([]pathdb.LabeledEdge{{Src: "x", Label: "knows", Dst: "y"}}); err != nil && !errors.Is(err, pathdb.ErrIndexClosed) {
+			t.Fatalf("ApplyBatch after Close returned %v, want nil or ErrIndexClosed", err)
+		}
+	}
+}
+
 // TestCloseDuringQueries is the use-after-munmap regression test: Close
 // on a mapped DB racing in-flight queries must block until they drain;
 // queries that start after Close fail with a deterministic error. Run
