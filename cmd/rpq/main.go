@@ -9,7 +9,8 @@
 //	    (-query RPQ | -explain RPQ | -stats)
 //
 //	rpq build -graph FILE -index FILE [-k 2] [-format v3]
-//	rpq serve -graph FILE -index FILE [-strategy minSupport] [-limit 20] [-http ADDR]
+//	rpq serve -graph FILE -index FILE [-strategy minSupport] [-limit 20] [-http ADDR] [-durable DIR]
+//	rpq wal -dir DIR [-v]
 //
 // The build/serve pair exercises the save-once/open-many lifecycle:
 // `build` constructs the k-path index and writes it block-compressed in
@@ -19,6 +20,14 @@
 // A malformed query line is reported on stderr and serving continues;
 // non-zero exit is reserved for setup failures (bad flags, unreadable
 // graph or index) and input read errors.
+//
+// With -durable, serve opens the database through the write-ahead log
+// in DIR: a WAL left by a previous process (including one that crashed)
+// is replayed over the (graph, index) base before serving starts, and
+// the recovery tally is printed. `rpq wal` prints the same directory's
+// log record by record — batches, spills, checkpoints, and any torn
+// crash residue — without modifying anything; -v also lists the edges
+// inside each batch.
 //
 // With -http the same database is served over HTTP instead (see
 // internal/httpserve: POST /query streams NDJSON result pairs,
@@ -44,6 +53,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -51,6 +61,7 @@ import (
 
 	pathdb "repro"
 	"repro/internal/httpserve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -65,6 +76,12 @@ func main() {
 		case "serve":
 			if err := runServe(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "rpq serve:", err)
+				os.Exit(1)
+			}
+			return
+		case "wal":
+			if err := runWAL(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "rpq wal:", err)
 				os.Exit(1)
 			}
 			return
@@ -143,6 +160,7 @@ func runServe(args []string) error {
 	limit := fs.Int("limit", 20, "maximum result pairs to print per query (0 = all)")
 	httpAddr := fs.String("http", "", "serve over HTTP on this address (e.g. :8080) instead of stdin")
 	httpDeadline := fs.Duration("http-deadline", 0, "default per-request execution deadline in HTTP mode (0 = none)")
+	durableDir := fs.String("durable", "", "durability directory: recover its write-ahead log before serving and log applied batches to it")
 	fs.Parse(args)
 	if *graphPath == "" || *indexPath == "" {
 		return fmt.Errorf("-graph and -index are required")
@@ -152,7 +170,12 @@ func runServe(args []string) error {
 		return err
 	}
 	t0 := time.Now()
-	db, err := pathdb.Open(*graphPath, *indexPath)
+	var db *pathdb.DB
+	if *durableDir != "" {
+		db, err = pathdb.OpenDurable(*graphPath, *indexPath, pathdb.Options{}, pathdb.DurabilityOptions{Dir: *durableDir})
+	} else {
+		db, err = pathdb.Open(*graphPath, *indexPath)
+	}
 	if err != nil {
 		return err
 	}
@@ -160,12 +183,89 @@ func runServe(args []string) error {
 	st := db.IndexStats()
 	fmt.Printf("opened %s in %.2f ms: k=%d, %d entries over %d label paths (no rebuild)\n",
 		*indexPath, float64(time.Since(t0).Microseconds())/1000.0, db.K(), st.Entries, st.LabelPaths)
+	if *durableDir != "" {
+		ds := db.DurabilityStats()
+		fmt.Printf("recovered %s: %d batches replayed (%d via spill shortcuts), resuming at seq %d epoch %d\n",
+			*durableDir, ds.RecoveredBatches, ds.RecoveredSpills, ds.NextSeq, db.UpdateStats().Epoch)
+	}
 
 	if *httpAddr != "" {
 		return serveHTTP(db, *httpAddr, *strategyName, *httpDeadline)
 	}
 	srv := db.Serve(pathdb.ServeOptions{})
 	return serveLines(srv, strategy, *limit, os.Stdin, os.Stdout, os.Stderr)
+}
+
+// runWAL implements `rpq wal`: print a durability directory's
+// write-ahead log record by record, without opening it for writing or
+// repairing anything — safe to run against the directory of a live or
+// crashed process.
+func runWAL(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wal", flag.ExitOnError)
+	dir := fs.String("dir", "", "durability directory holding "+pathdb.WALFileName+" (required)")
+	verbose := fs.Bool("v", false, "also list the edges inside each batch record")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	path := filepath.Join(*dir, pathdb.WALFileName)
+	recs, size, torn, err := wal.Inspect(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %d records, %d bytes", path, len(recs), size)
+	if torn > 0 {
+		fmt.Fprintf(out, " (%d-byte torn tail — crash residue, dropped on next open)", torn)
+	}
+	fmt.Fprintln(out)
+	for _, r := range recs {
+		switch r.Type {
+		case wal.TypeBatch:
+			br, err := wal.DecodeBatch(r.Payload)
+			if err != nil {
+				fmt.Fprintf(out, "seq %-6d batch       undecodable: %v\n", r.Seq, err)
+				continue
+			}
+			fmt.Fprintf(out, "seq %-6d batch       epoch %-6d %d edges\n", r.Seq, br.Epoch, len(br.Edges))
+			if *verbose {
+				for _, e := range br.Edges {
+					fmt.Fprintf(out, "           %s -[%s]-> %s\n", e.Src, e.Label, e.Dst)
+				}
+			}
+		case wal.TypeSpill:
+			sr, err := wal.DecodeSpill(r.Payload)
+			if err != nil {
+				fmt.Fprintf(out, "seq %-6d spill       undecodable: %v\n", r.Seq, err)
+				continue
+			}
+			fmt.Fprintf(out, "seq %-6d spill       epoch %-6d seqs %d..%d -> %s%s\n",
+				r.Seq, sr.Epoch, sr.FromSeq, sr.ToSeq, sr.File, fileNote(filepath.Join(*dir, sr.File)))
+		case wal.TypeCheckpoint:
+			cr, err := wal.DecodeCheckpoint(r.Payload)
+			if err != nil {
+				fmt.Fprintf(out, "seq %-6d checkpoint  undecodable: %v\n", r.Seq, err)
+				continue
+			}
+			fmt.Fprintf(out, "seq %-6d checkpoint  epoch %-6d upto %d: %s%s + %s%s\n",
+				r.Seq, cr.Epoch, cr.UptoSeq,
+				cr.GraphFile, fileNote(filepath.Join(*dir, cr.GraphFile)),
+				cr.IndexFile, fileNote(filepath.Join(*dir, cr.IndexFile)))
+		default:
+			fmt.Fprintf(out, "seq %-6d type %-6d %d payload bytes\n", r.Seq, r.Type, len(r.Payload))
+		}
+	}
+	return nil
+}
+
+// fileNote annotates a referenced side file with its size, or flags it
+// missing — a missing spill just costs replay time, a missing
+// checkpoint file is fatal on the next open.
+func fileNote(path string) string {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return " (MISSING)"
+	}
+	return fmt.Sprintf(" (%d bytes)", fi.Size())
 }
 
 // serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then shuts

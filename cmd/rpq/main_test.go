@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -36,6 +38,63 @@ func TestServeLinesKeepsServingAfterErrors(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "error:") {
 		t.Errorf("error leaked onto out: %q", out.String())
+	}
+}
+
+// `rpq wal` renders a durability directory's log: batch records with
+// their epochs, checkpoint records with their side files, and -v edge
+// listings — all without modifying the directory.
+func TestRunWAL(t *testing.T) {
+	dir := t.TempDir()
+	g := pathdb.NewGraph()
+	g.AddEdge("ada", "knows", "zoe")
+	db, err := pathdb.BuildDurable(g, pathdb.Options{K: 2, CompactRatio: -1},
+		pathdb.DurabilityOptions{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []pathdb.LabeledEdge{{Src: "zoe", Label: "knows", Dst: "sam"}}
+	if err := db.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyBatch([]pathdb.LabeledEdge{{Src: "sam", Label: "knows", Dst: "ada"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, pathdb.WALFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runWAL([]string{"-dir", dir, "-v"}, &out); err != nil {
+		t.Fatalf("runWAL: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"checkpoint", "batch", "sam -[knows]-> ada", "bytes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wal listing missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "MISSING") {
+		t.Errorf("wal listing flags side files missing:\n%s", s)
+	}
+
+	after, err := os.ReadFile(filepath.Join(dir, pathdb.WALFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("rpq wal modified the log")
+	}
+
+	if err := runWAL([]string{"-dir", t.TempDir()}, &out); err == nil {
+		t.Error("runWAL accepted a directory without a log")
 	}
 }
 

@@ -1,0 +1,82 @@
+package pathdb_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDoc walks the module and asserts every package —
+// the public pathdb package, each internal layer, the commands, and the
+// examples — carries a substantive package comment. This is
+// staticcheck's ST1000 (enabled in staticcheck.conf for CI's lint job)
+// enforced through go/parser, so plain `go test ./...` catches a
+// regression without staticcheck installed.
+func TestEveryPackageHasDoc(t *testing.T) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != "." || name == "testdata" || name == "docs" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	for dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			var docs []string
+			for file, f := range pkg.Files {
+				if f.Doc != nil {
+					docs = append(docs, file)
+					text := f.Doc.Text()
+					if name != "main" && !strings.HasPrefix(text, "Package "+name) {
+						t.Errorf("%s: package comment must start with %q, got %q",
+							file, "Package "+name, firstLine(text))
+					}
+					if len(text) < 60 {
+						t.Errorf("%s: package comment too thin to document the package: %q", file, text)
+					}
+				}
+			}
+			switch len(docs) {
+			case 0:
+				t.Errorf("package %s (%s) has no package comment", name, dir)
+			case 1:
+			default:
+				// Multiple doc comments concatenate in godoc in file-name
+				// order — almost never what anyone wants.
+				t.Errorf("package %s has package comments in %d files (%v); keep exactly one",
+					name, len(docs), docs)
+			}
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

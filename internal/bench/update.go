@@ -8,7 +8,9 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"time"
 
+	pathdb "repro"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/plan"
@@ -51,6 +53,40 @@ type UpdatePoint struct {
 	OracleMatch bool `json:"oracle_match"`
 }
 
+// WALSection measures the durable update path: the fsync'd write-ahead
+// overlay on ApplyBatch, crash recovery (log replay) versus a
+// from-scratch rebuild, and the boundedness of incremental compaction
+// steps.
+type WALSection struct {
+	Batches   int `json:"batches"`
+	BatchSize int `json:"batch_size"`
+	// Plain vs durable apply: the same batch stream through a DB without
+	// and with the WAL (every durable ApplyBatch is fsync'd before it
+	// acknowledges). OverheadRatio = durable/plain.
+	PlainApplyMillis   float64 `json:"plain_apply_ms"`
+	DurableApplyMillis float64 `json:"durable_apply_ms"`
+	OverheadRatio      float64 `json:"overhead_ratio"`
+	// Recovery: reopening the durability directory (replaying every
+	// logged batch over the base) versus rebuilding the full graph's
+	// index from scratch.
+	// RecoveredBatches counts batches re-derived through the full
+	// maintenance path; RecoveredSpills counts tiers restored from
+	// spilled run files instead (the shortcut that skips delta builds).
+	RecoveryMillis   float64 `json:"recovery_ms"`
+	RebuildMillis    float64 `json:"rebuild_ms"`
+	RecoveredBatches int64   `json:"recovered_batches"`
+	RecoveredSpills  int64   `json:"recovered_spills"`
+	// Incremental compaction: the longest single Compact step against
+	// the full rebuild. StepBounded asserts the acceptance bound — no
+	// step may cost 50% or more of a rebuild.
+	MaxCompactStepMillis float64 `json:"max_compact_step_ms"`
+	CompactMillis        float64 `json:"compact_ms"`
+	StepBounded          bool    `json:"step_bounded"`
+	// OracleMatch compares the recovered DB's workload answers to a
+	// from-scratch build over the full graph.
+	OracleMatch bool `json:"oracle_match"`
+}
+
 // UpdateReport is serialized to BENCH_update.json by cmd/bench.
 type UpdateReport struct {
 	GoVersion string        `json:"go_version"`
@@ -61,6 +97,7 @@ type UpdateReport struct {
 	Nodes     int           `json:"nodes"`
 	Edges     int           `json:"edges"`
 	Points    []UpdatePoint `json:"points"`
+	WAL       *WALSection   `json:"wal,omitempty"`
 	Note      string        `json:"note"`
 }
 
@@ -249,6 +286,18 @@ func RunUpdate(cfg Config, out string) (*UpdateReport, *Table, error) {
 		"apply builds the delta off-line and publishes it with an atomic snapshot swap; queries never block",
 		"overlay scans merge base+delta runs at scan time; compaction folds them back into one run per path")
 
+	walSec, err := runWALSection(cfg, full, k, ms2(rebuild))
+	if err != nil {
+		return nil, nil, err
+	}
+	report.WAL = walSec
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("durable apply (WAL, fsync per batch): %.2f ms for %d batches vs %.2f ms plain (%.2fx overhead)",
+			walSec.DurableApplyMillis, walSec.Batches, walSec.PlainApplyMillis, walSec.OverheadRatio),
+		fmt.Sprintf("crash recovery (%d batch replays + %d spill loads) took %.2f ms vs %.2f ms from-scratch rebuild; max compact step %.2f ms (bounded=%v, oracle=%v)",
+			walSec.RecoveredBatches, walSec.RecoveredSpills, walSec.RecoveryMillis, walSec.RebuildMillis,
+			walSec.MaxCompactStepMillis, walSec.StepBounded, walSec.OracleMatch))
+
 	if out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -259,4 +308,124 @@ func RunUpdate(cfg Config, out string) (*UpdateReport, *Table, error) {
 		}
 	}
 	return report, tab, nil
+}
+
+// runWALSection measures the durable update path: a 5% holdout dealt
+// into batches is streamed through a plain DB and a WAL-backed DB
+// (fsync'd per batch), the durability directory is reopened to time
+// crash recovery against rebuildMillis, and an incremental Compact
+// checks the bounded-step contract (no step >= 50% of a rebuild) on the
+// recovered state.
+func runWALSection(cfg Config, full *graph.Graph, k int, rebuildMillis float64) (*WALSection, error) {
+	base, holdout := splitAdvogato(full, cfg.Seed, 0.05)
+	const nBatches = 8
+	batches := make([][]graph.LabeledEdge, nBatches)
+	for i, e := range holdout {
+		batches[i%nBatches] = append(batches[i%nBatches], e)
+	}
+	sec := &WALSection{Batches: nBatches, BatchSize: (len(holdout) + nBatches - 1) / nBatches, RebuildMillis: rebuildMillis}
+	opts := pathdb.Options{K: k, HistogramBuckets: cfg.HistogramBuckets, CompactRatio: -1}
+	applyAll := func(db *pathdb.DB) (time.Duration, error) {
+		t0 := time.Now()
+		for _, b := range batches {
+			if err := db.ApplyBatch(b); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	plainDB, err := pathdb.Build(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	plainD, err := applyAll(plainDB)
+	plainDB.Close()
+	if err != nil {
+		return nil, err
+	}
+	sec.PlainApplyMillis = ms2(plainD)
+
+	dir, err := os.MkdirTemp("", "bench-wal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	dopts := pathdb.DurabilityOptions{Dir: dir}
+	durDB, err := pathdb.BuildDurable(base, opts, dopts)
+	if err != nil {
+		return nil, err
+	}
+	durD, err := applyAll(durDB)
+	if err != nil {
+		durDB.Close()
+		return nil, err
+	}
+	sec.DurableApplyMillis = ms2(durD)
+	if sec.PlainApplyMillis > 0 {
+		sec.OverheadRatio = sec.DurableApplyMillis / sec.PlainApplyMillis
+	}
+	if err := durDB.Close(); err != nil {
+		return nil, err
+	}
+
+	// Crash recovery: reopen the directory and replay the log.
+	t0 := time.Now()
+	recDB, err := pathdb.BuildDurable(base, opts, dopts)
+	if err != nil {
+		return nil, err
+	}
+	defer recDB.Close()
+	sec.RecoveryMillis = ms2(time.Since(t0))
+	rst := recDB.DurabilityStats()
+	sec.RecoveredBatches = rst.RecoveredBatches
+	sec.RecoveredSpills = rst.RecoveredSpills
+
+	// Incremental compaction on the recovered state; the DB records the
+	// longest single fold step.
+	t0 = time.Now()
+	if err := recDB.Compact(); err != nil {
+		return nil, err
+	}
+	sec.CompactMillis = ms2(time.Since(t0))
+	sec.MaxCompactStepMillis = recDB.DurabilityStats().MaxCompactStepMillis
+	sec.StepBounded = sec.MaxCompactStepMillis < 0.5*rebuildMillis
+
+	// Differential: the recovered+compacted DB against a from-scratch
+	// build over the full graph.
+	oracleDB, err := pathdb.Build(full, pathdb.Options{K: k, HistogramBuckets: cfg.HistogramBuckets})
+	if err != nil {
+		return nil, err
+	}
+	defer oracleDB.Close()
+	sec.OracleMatch = true
+	for _, q := range workload.Advogato() {
+		if q.Name == "Q9" || q.Name == "Q10" {
+			continue
+		}
+		got, err := recDB.Query(q.Text)
+		if err != nil {
+			return nil, err
+		}
+		want, err := oracleDB.Query(q.Text)
+		if err != nil {
+			return nil, err
+		}
+		if !slices.Equal(sortedNamePairs(got.Names), sortedNamePairs(want.Names)) {
+			sec.OracleMatch = false
+		}
+	}
+	return sec, nil
+}
+
+// sortedNamePairs flattens result names for set comparison across DBs
+// whose internal node IDs need not line up (a recovered graph interns
+// batch nodes in replay order).
+func sortedNamePairs(names [][2]string) []string {
+	out := make([]string, len(names))
+	for i, p := range names {
+		out[i] = p[0] + "\x00" + p[1]
+	}
+	sort.Strings(out)
+	return out
 }

@@ -100,7 +100,7 @@ func TestDifferentialHeapV2V3(t *testing.T) {
 
 // TestUpdateOverCompressedStorage runs the live-update differential over
 // a compressed v3 base: ApplyBatch over the decode-on-scan storage (the
-// overlay merges uncompressed deltas with compressed base blocks) and a
+// tier stack merges uncompressed deltas with compressed base blocks) and a
 // subsequent Compact must answer like a from-scratch rebuild, and Close
 // under an updated snapshot must fail queries with ErrClosed rather
 // than fault.
@@ -123,8 +123,8 @@ func TestUpdateOverCompressedStorage(t *testing.T) {
 	}
 	oracle := newTestEngine(t, full, 2)
 	updated := applyAll(t, cEng, batches)
-	if _, isOverlay := updated.Storage().(*pathindex.Overlay); !isOverlay {
-		t.Fatalf("ApplyBatch over compressed storage produced %T, want overlay", updated.Storage())
+	if _, isLevels := updated.Storage().(*pathindex.Levels); !isLevels {
+		t.Fatalf("ApplyBatch over compressed storage produced %T, want tier stack", updated.Storage())
 	}
 	queries := []string{"a", "a/b", "a|b", "a*", "(a|b)*", "a/b^-", "a/(b)*"}
 	for _, q := range queries {

@@ -23,7 +23,9 @@
 //	GET  /explain?q=...&strategy=...
 //	               → text/plain physical plan.
 //	GET  /stats    → JSON: serving counters, plan-cache behavior,
-//	               index statistics, HTTP-level counters.
+//	               index statistics, update/tier state, durability
+//	               state (WAL size, checkpoint seq, spilled tiers —
+//	               all zero for non-durable DBs), HTTP-level counters.
 //
 // Per-request deadlines (timeout_ms, clamped to Options.MaxTimeout,
 // defaulted from Options.DefaultTimeout) and client disconnects cancel
@@ -505,9 +507,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	nStmts := len(s.stmts)
 	s.stmtMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"serve":  s.srv.Stats(),
-		"index":  s.db.IndexStats(),
-		"update": s.db.UpdateStats(),
+		"serve":      s.srv.Stats(),
+		"index":      s.db.IndexStats(),
+		"update":     s.db.UpdateStats(),
+		"durability": s.db.DurabilityStats(),
 		"http": HTTPStats{
 			Requests:     s.requests.Load(),
 			Rejected:     s.rejected.Load(),

@@ -384,7 +384,7 @@ func TestStatsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	for _, section := range []string{"serve", "index", "update", "http"} {
+	for _, section := range []string{"serve", "index", "update", "durability", "http"} {
 		if _, ok := st[section]; !ok {
 			t.Errorf("stats missing %q section", section)
 		}

@@ -1,4 +1,5 @@
-// Incremental index maintenance: a Delta holds, for every label path of
+// This file implements incremental index maintenance (the package
+// comment lives in path.go): a Delta holds, for every label path of
 // length at most k, the sorted run of pairs that a batch of new edges
 // adds to the path's relation, and an Overlay serves base + delta as one
 // consistent Storage without rebuilding the base.
@@ -18,6 +19,7 @@
 // the language-aware path-index line of work (Sasaki, Fletcher &
 // Onizuka) identifies as the practical requirement for serving path
 // indexes under updates.
+
 package pathindex
 
 import (

@@ -1,0 +1,655 @@
+package pathindex
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Tier is one frozen update increment in a Levels stack: the Delta of
+// one batch (or of several adjacent batches folded together by tier
+// merging), tagged with the inclusive WAL sequence range it covers and,
+// once persisted, the name of its spill file. The delta payload is
+// immutable; the spill marker is set at most once, after the v3 run
+// file is durable, and is metadata only — serving never reads it.
+type Tier struct {
+	delta *Delta
+	seqLo uint64
+	seqHi uint64
+	spill atomic.Pointer[string]
+}
+
+// NewTier wraps a freshly built delta as a tier covering the given
+// inclusive sequence range (lo == hi for a single batch; 0,0 for
+// non-durable stacks that do not track sequence numbers).
+func NewTier(d *Delta, seqLo, seqHi uint64) *Tier {
+	return &Tier{delta: d, seqLo: seqLo, seqHi: seqHi}
+}
+
+// Entries returns the tier's total entry count.
+func (t *Tier) Entries() int { return t.delta.NumEntries() }
+
+// SeqLo returns the first WAL sequence number the tier covers.
+func (t *Tier) SeqLo() uint64 { return t.seqLo }
+
+// SeqHi returns the last WAL sequence number the tier covers.
+func (t *Tier) SeqHi() uint64 { return t.seqHi }
+
+// Spill returns the tier's spill file name, or "" while memory-only.
+func (t *Tier) Spill() string {
+	if p := t.spill.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetSpill records that the tier's runs are durable in the named file.
+func (t *Tier) SetSpill(file string) { t.spill.Store(&file) }
+
+// SpillIndex returns the tier's delta as a standalone heap Index over
+// the tier's (successor) graph — the value WriteSpill persists. The
+// index shares the delta's immutable runs; |paths_k| is left at zero
+// (skipped), as a spill is payload, not a statistics source.
+func (t *Tier) SpillIndex() *Index {
+	d := t.delta
+	ix := &Index{g: d.g, k: d.k, relations: d.rels, paths: d.paths, ids: d.ids}
+	ix.count = make([]int, len(d.rels))
+	for i, rel := range d.rels {
+		ix.count[i] = len(rel)
+	}
+	ix.stats = BuildStats{Entries: d.stats.Entries, LabelPaths: len(d.paths)}
+	return ix
+}
+
+// WriteSpill persists the tier's runs as a format-v3 index file,
+// written to a temp file, fsync'd, and renamed into place so a crash
+// mid-spill never leaves a half-written file under the final name.
+// The caller records the spill in the WAL (and calls SetSpill) only
+// after WriteSpill returns.
+func (t *Tier) WriteSpill(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := t.SpillIndex().WriteV3To(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// NewSpilledTier reconstructs a tier from a heap-loaded spill index
+// (recovery's shortcut past BuildDelta). The index must have been
+// produced by WriteSpill for the same sequence range and loaded against
+// the graph as of seqHi; g is that graph (the index's own attachment
+// graph), passed explicitly so the call site states the invariant.
+func NewSpilledTier(ix *Index, g *graph.Graph, seqLo, seqHi uint64, file string) *Tier {
+	d := &Delta{g: g, k: ix.k, rels: ix.relations, paths: ix.paths, ids: ix.ids}
+	d.stats.Entries = ix.stats.Entries
+	d.stats.DeltaPaths = len(ix.paths)
+	t := NewTier(d, seqLo, seqHi)
+	t.SetSpill(file)
+	return t
+}
+
+// Levels serves a read-only base Storage plus an ordered stack of
+// update tiers as one consistent Storage over the newest tier's graph —
+// the LSM-style generalization of Overlay. Where an Overlay folds every
+// new delta into the previous one (cost proportional to the accumulated
+// delta on every batch), a Levels stack just pushes the new tier;
+// adjacent tiers are merged separately and incrementally (MergeOnce),
+// and the whole stack folds back into a single immutable index through
+// a bounded-step Fold job rather than one monolithic Materialize.
+//
+// Each tier's runs are disjoint from the base and from every older tier
+// (BuildDelta subtracts against the storage it extends), so per-path
+// counts are sums and cross-tier merges need no deduplication. Reads
+// see at most base + one merged delta run per path: the union of a
+// path's tier runs is computed lazily on first access and cached, so
+// the executor's two-run merge-union scans (RunPair/RunBlocks) work
+// unchanged over any number of tiers.
+//
+// Like every Storage, a Levels is immutable after construction (the
+// lazy run cache and tier spill markers are the write-once exceptions)
+// and safe for any number of concurrent readers. Pin/Unpin and Close
+// delegate to the base.
+type Levels struct {
+	base  Storage
+	tiers []*Tier
+	g     *graph.Graph
+
+	// Merged directory: ids 0..base.NumLabelPaths()-1 alias the base
+	// ids; tier-only paths (e.g. over new labels) are appended after in
+	// tier order.
+	paths    []Path
+	ids      map[string]uint32
+	counts   []int
+	tierRuns [][][]Packed               // merged id -> non-empty tier runs, oldest first
+	merged   []atomic.Pointer[[]Packed] // merged id -> lazily cached union of tierRuns
+	numBase  int
+	entries  int
+	stats    BuildStats
+}
+
+// NewLevels assembles a stack over base from an ordered tier list
+// (oldest first). Every tier must have been built against base extended
+// by the tiers before it, which is what makes the runs disjoint; the
+// constructor checks the locality parameter and graph lineage, not
+// disjointness itself.
+func NewLevels(base Storage, tiers []*Tier) (*Levels, error) {
+	g := base.Graph()
+	nodes := g.NumNodes()
+	for i, t := range tiers {
+		if t.delta.K() != base.K() {
+			return nil, fmt.Errorf("pathindex: tier %d has k=%d, base has k=%d", i, t.delta.K(), base.K())
+		}
+		if t.delta.Graph().NumNodes() < nodes {
+			return nil, fmt.Errorf("pathindex: tier %d graph is smaller than its predecessor", i)
+		}
+		nodes = t.delta.Graph().NumNodes()
+		g = t.delta.Graph()
+	}
+	ls := &Levels{base: base, tiers: tiers, g: g, ids: map[string]uint32{}}
+
+	base.AllPaths(func(id uint32, p Path, count int) {
+		cp := slices.Clone(p)
+		if uint32(len(ls.paths)) != id {
+			panic("pathindex: base AllPaths ids are not dense")
+		}
+		ls.paths = append(ls.paths, cp)
+		ls.ids[cp.Key()] = id
+		ls.counts = append(ls.counts, count)
+		ls.entries += count
+	})
+	ls.numBase = len(ls.paths)
+	for _, t := range tiers {
+		for _, p := range t.delta.paths {
+			if _, dup := ls.ids[p.Key()]; dup {
+				continue
+			}
+			ls.paths = append(ls.paths, p)
+			ls.ids[p.Key()] = uint32(len(ls.paths) - 1)
+			ls.counts = append(ls.counts, 0)
+		}
+	}
+	ls.tierRuns = make([][][]Packed, len(ls.paths))
+	for _, t := range tiers {
+		for id, p := range ls.paths {
+			run := t.delta.Run(p)
+			if len(run) == 0 {
+				continue
+			}
+			ls.tierRuns[id] = append(ls.tierRuns[id], run)
+			ls.counts[id] += len(run)
+			ls.entries += len(run)
+		}
+	}
+	ls.merged = make([]atomic.Pointer[[]Packed], len(ls.paths))
+
+	pk := base.PathsKCount()
+	dur := time.Duration(0)
+	prevNodes := base.Graph().NumNodes()
+	for _, t := range tiers {
+		pk = deltaPathsK(pk, prevNodes, base.NumEntries(), t.delta)
+		prevNodes = t.delta.Graph().NumNodes()
+		dur += t.delta.Stats().Duration
+	}
+	ls.stats = BuildStats{
+		Entries:     ls.entries,
+		LabelPaths:  len(ls.paths),
+		PathsKCount: pk,
+		Duration:    dur,
+	}
+	return ls, nil
+}
+
+// deltaPathsK extends a |paths_k| value by one delta: identity pairs of
+// new nodes plus distinct non-identity delta pairs. Like overlayPathsK
+// it is an upper bound (pairs already related by a different path in an
+// older layer are counted again); a base that skipped the count (0 with
+// non-empty relations) stays 0.
+func deltaPathsK(prevPK, prevNodes, baseEntries int, d *Delta) int {
+	if prevPK == 0 && baseEntries > 0 {
+		return 0
+	}
+	total := 0
+	for _, rel := range d.rels {
+		total += len(rel)
+	}
+	all := make([]Packed, 0, total)
+	for _, rel := range d.rels {
+		all = append(all, rel...)
+	}
+	pk := prevPK + (d.Graph().NumNodes() - prevNodes)
+	for _, pr := range sortDedup(all) {
+		if pr.Src() != pr.Dst() {
+			pk++
+		}
+	}
+	return pk
+}
+
+// PushTier layers a new tier over prev. When prev is itself a *Levels,
+// the new stack shares its base and existing tiers (no folding — the
+// O(accumulated delta) cost Overlay pays per batch is exactly what the
+// tier stack avoids); any other Storage becomes the base of a fresh
+// one-tier stack. delta must have been built by BuildDelta against prev.
+func PushTier(prev Storage, delta *Delta, seqLo, seqHi uint64) (*Levels, error) {
+	if prev.K() != delta.K() {
+		return nil, fmt.Errorf("pathindex: tier delta k=%d does not match storage k=%d", delta.K(), prev.K())
+	}
+	tier := NewTier(delta, seqLo, seqHi)
+	if ls, ok := prev.(*Levels); ok {
+		tiers := make([]*Tier, len(ls.tiers)+1)
+		copy(tiers, ls.tiers)
+		tiers[len(ls.tiers)] = tier
+		return NewLevels(ls.base, tiers)
+	}
+	return NewLevels(prev, []*Tier{tier})
+}
+
+// Base returns the stack's base storage.
+func (ls *Levels) Base() Storage { return ls.base }
+
+// Tiers returns the tier stack, oldest first. The slice must not be
+// mutated.
+func (ls *Levels) Tiers() []*Tier { return ls.tiers }
+
+// BaseEntries returns the base index's entry count.
+func (ls *Levels) BaseEntries() int { return ls.base.NumEntries() }
+
+// DeltaEntries returns the number of entries held in tier runs.
+func (ls *Levels) DeltaEntries() int { return ls.entries - ls.base.NumEntries() }
+
+// DeltaRatio returns DeltaEntries/BaseEntries — the compaction trigger
+// metric, as in Overlay.DeltaRatio. Against an empty base any non-empty
+// stack reports 1.
+func (ls *Levels) DeltaRatio() float64 {
+	de := ls.DeltaEntries()
+	be := ls.BaseEntries()
+	if be == 0 {
+		if de == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(de) / float64(be)
+}
+
+// MergeOnce folds one adjacent tier pair and returns the shortened
+// stack, or ok=false when no pair qualifies. The policy is size-tiered:
+// scanning from the newest end, a tier is folded into its older
+// neighbour once it has grown to at least half the neighbour's size, so
+// small fresh tiers coalesce quickly while a large settled tier is
+// never re-merged by a trickle of tiny successors. Merged tiers lose
+// their spill markers (the file on disk covers a stale range; recovery
+// simply prefers the widest loadable spill).
+//
+// MergeOnce must not run while a Fold over the same stack is in flight:
+// the fold's install step requires its source tiers to survive as a
+// prefix of the current stack. Callers (pathdb) gate the two.
+func (ls *Levels) MergeOnce() (*Levels, bool) {
+	for i := len(ls.tiers) - 1; i > 0; i-- {
+		older, newer := ls.tiers[i-1], ls.tiers[i]
+		if newer.Entries()*2 < older.Entries() {
+			continue
+		}
+		folded := NewTier(foldDeltas(older.delta, newer.delta), older.seqLo, newer.seqHi)
+		tiers := make([]*Tier, 0, len(ls.tiers)-1)
+		tiers = append(tiers, ls.tiers[:i-1]...)
+		tiers = append(tiers, folded)
+		tiers = append(tiers, ls.tiers[i+1:]...)
+		out, err := NewLevels(ls.base, tiers)
+		if err != nil {
+			// The inputs were a valid stack; a fold of adjacent tiers
+			// cannot invalidate it.
+			panic(fmt.Sprintf("pathindex: MergeOnce rebuilt an invalid stack: %v", err))
+		}
+		return out, true
+	}
+	return ls, false
+}
+
+// mergedRun returns the union of the path's tier runs, computing and
+// caching it on first access. Single-tier paths alias the tier run
+// (zero-copy); concurrent first accesses may both compute, which is
+// benign (identical results, last store wins).
+func (ls *Levels) mergedRun(id uint32) []Packed {
+	if p := ls.merged[id].Load(); p != nil {
+		return *p
+	}
+	runs := ls.tierRuns[id]
+	var m []Packed
+	switch len(runs) {
+	case 0:
+	case 1:
+		m = runs[0]
+	default:
+		m = runs[0]
+		for _, r := range runs[1:] {
+			m = mergeRuns(m, r)
+		}
+	}
+	ls.merged[id].Store(&m)
+	return m
+}
+
+// K implements Storage.
+func (ls *Levels) K() int { return ls.base.K() }
+
+// Graph implements Storage: the newest tier's successor graph.
+func (ls *Levels) Graph() *graph.Graph { return ls.g }
+
+// Stats implements Storage. Entries and LabelPaths cover base + tiers;
+// Duration sums the tier delta build times.
+func (ls *Levels) Stats() BuildStats { return ls.stats }
+
+// NumEntries implements Storage.
+func (ls *Levels) NumEntries() int { return ls.entries }
+
+// NumLabelPaths implements Storage.
+func (ls *Levels) NumLabelPaths() int { return len(ls.paths) }
+
+// PathsKCount implements Storage (an upper bound; see deltaPathsK).
+func (ls *Levels) PathsKCount() int { return ls.stats.PathsKCount }
+
+// PathID implements Storage.
+func (ls *Levels) PathID(p Path) (uint32, bool) {
+	id, ok := ls.ids[p.Key()]
+	return id, ok
+}
+
+// PathByID implements Storage.
+func (ls *Levels) PathByID(id uint32) Path { return ls.paths[id] }
+
+// Count implements Storage.
+func (ls *Levels) Count(p Path) int {
+	if id, ok := ls.ids[p.Key()]; ok {
+		return ls.counts[id]
+	}
+	return 0
+}
+
+// CountByID implements Storage.
+func (ls *Levels) CountByID(id uint32) int { return ls.counts[id] }
+
+// AllPaths implements Storage.
+func (ls *Levels) AllPaths(fn func(id uint32, p Path, count int)) {
+	for id, p := range ls.paths {
+		fn(uint32(id), p, ls.counts[id])
+	}
+}
+
+// RunPair returns the base run and the merged tier run whose disjoint
+// union is p(G'). Either may be empty; both alias the storage and must
+// not be mutated. The executor's merge-union scan consumes this
+// directly — N tiers still cost the scan only one extra run.
+func (ls *Levels) RunPair(p Path) (base, delta []Packed) {
+	id, ok := ls.ids[p.Key()]
+	if !ok {
+		return nil, nil
+	}
+	if id < uint32(ls.numBase) {
+		base = ls.base.Relation(p)
+	}
+	return base, ls.mergedRun(id)
+}
+
+// RunBlocks returns the base run as a block iterator plus the merged
+// tier run, never forcing a compressed base run to decode eagerly (see
+// Overlay.RunBlocks).
+func (ls *Levels) RunBlocks(p Path) (base *BlockIterator, delta []Packed) {
+	id, ok := ls.ids[p.Key()]
+	if !ok {
+		return &BlockIterator{size: DefaultBlockSize}, nil
+	}
+	if id < uint32(ls.numBase) {
+		base = ls.base.Blocks(p)
+	} else {
+		base = &BlockIterator{size: DefaultBlockSize}
+	}
+	return base, ls.mergedRun(id)
+}
+
+// Relation implements Storage. When both the base and tier runs are
+// non-empty the merged run is freshly allocated; prefer RunPair (or
+// Blocks/SrcRange) on hot paths.
+func (ls *Levels) Relation(p Path) []Packed {
+	base, delta := ls.RunPair(p)
+	return mergeRuns(base, delta)
+}
+
+// Blocks implements Storage.
+func (ls *Levels) Blocks(p Path) *BlockIterator {
+	return ls.BlocksSized(p, DefaultBlockSize)
+}
+
+// BlocksSized implements Storage. Paths no tier touched delegate to the
+// base iterator (keeping a compressed base's decode-on-scan behaviour);
+// paths with tier pairs materialize the merged run.
+func (ls *Levels) BlocksSized(p Path, blockSize int) *BlockIterator {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	if id, ok := ls.ids[p.Key()]; ok && id < uint32(ls.numBase) && len(ls.tierRuns[id]) == 0 {
+		return ls.base.BlocksSized(p, blockSize)
+	}
+	return &BlockIterator{rel: ls.Relation(p), size: blockSize}
+}
+
+// SrcRange implements Storage: the base ⟨p, src⟩ range merged with each
+// tier's. When the merged run is already cached its sub-range is sliced
+// directly; otherwise the small per-tier ranges are merged without
+// materializing the full union.
+func (ls *Levels) SrcRange(p Path, src graph.NodeID) []Packed {
+	id, ok := ls.ids[p.Key()]
+	if !ok {
+		return nil
+	}
+	var base []Packed
+	if id < uint32(ls.numBase) {
+		base = ls.base.SrcRange(p, src)
+	}
+	if m := ls.merged[id].Load(); m != nil {
+		return mergeRuns(base, srcRangeOf(*m, src))
+	}
+	out := base
+	for _, run := range ls.tierRuns[id] {
+		out = mergeRuns(out, srcRangeOf(run, src))
+	}
+	return out
+}
+
+// Scan implements Storage.
+func (ls *Levels) Scan(p Path) *PairIterator {
+	return &PairIterator{rel: ls.Relation(p)}
+}
+
+// ScanFrom implements Storage.
+func (ls *Levels) ScanFrom(p Path, src graph.NodeID) *PairIterator {
+	return &PairIterator{rel: ls.SrcRange(p, src)}
+}
+
+// Contains implements Storage: membership in any tier run or the base.
+func (ls *Levels) Contains(p Path, src, dst graph.NodeID) bool {
+	id, ok := ls.ids[p.Key()]
+	if !ok {
+		return false
+	}
+	key := Pack(src, dst)
+	for _, run := range ls.tierRuns[id] {
+		if _, found := slices.BinarySearch(run, key); found {
+			return true
+		}
+	}
+	return id < uint32(ls.numBase) && ls.base.Contains(p, src, dst)
+}
+
+// Fold is an in-progress incremental compaction of a Levels stack: the
+// fold of base + all tiers into one fresh immutable heap index, done
+// path by path under a per-step entry budget so a large stack never
+// stalls the updater for one monolithic Materialize. The source stack
+// keeps serving readers throughout; the result is grafted back under
+// any tiers pushed since via Installable/NewLevels (see core's compact
+// job). A Fold is single-consumer: Step must not be called concurrently.
+type Fold struct {
+	src  *Levels
+	out  *Index
+	next int
+	dur  time.Duration
+}
+
+// StartFold begins an incremental fold of the stack.
+func (ls *Levels) StartFold() *Fold {
+	return &Fold{
+		src: ls,
+		out: &Index{g: ls.g, k: ls.K(), ids: make(map[string]uint32, len(ls.paths))},
+	}
+}
+
+// Step materializes merged runs until at least entryBudget entries have
+// been copied (minimum one path per call, so progress is guaranteed),
+// returning true once the fold is complete. Work per step is bounded by
+// the budget plus one path's relation, independent of stack size.
+func (f *Fold) Step(entryBudget int) bool {
+	if f.next >= len(f.src.paths) {
+		return true
+	}
+	start := time.Now()
+	budget := entryBudget
+	first := true
+	for f.next < len(f.src.paths) && (budget > 0 || first) {
+		first = false
+		id := uint32(f.next)
+		p := f.src.paths[id]
+		var base []Packed
+		if id < uint32(f.src.numBase) {
+			base = f.src.base.Relation(p)
+		}
+		delta := f.src.mergedRun(id)
+		var rel []Packed
+		switch {
+		case len(delta) == 0:
+			rel = slices.Clone(base)
+		case len(base) == 0:
+			rel = slices.Clone(delta)
+		default:
+			rel = mergeRuns(base, delta)
+		}
+		f.out.paths = append(f.out.paths, p)
+		f.out.ids[p.Key()] = id
+		f.out.count = append(f.out.count, len(rel))
+		f.out.relations = append(f.out.relations, rel)
+		budget -= len(rel)
+		f.next++
+	}
+	f.dur += time.Since(start)
+	if f.next < len(f.src.paths) {
+		return false
+	}
+	f.out.stats = BuildStats{
+		Entries:    f.src.entries,
+		LabelPaths: len(f.src.paths),
+		// The stack's (upper-bound) count carries over instead of the
+		// full-sort recount Materialize pays — the recount is most of a
+		// rebuild's cost and the value only feeds selectivity estimates.
+		PathsKCount: f.src.PathsKCount(),
+		Duration:    f.dur,
+	}
+	return true
+}
+
+// Done reports whether the fold has materialized every path.
+func (f *Fold) Done() bool { return f.next >= len(f.src.paths) }
+
+// Src returns the stack the fold reads from.
+func (f *Fold) Src() *Levels { return f.src }
+
+// Result returns the folded index. It must only be called once Step has
+// returned true.
+func (f *Fold) Result() *Index {
+	if !f.Done() {
+		panic("pathindex: Fold.Result before completion")
+	}
+	return f.out
+}
+
+// Materialize folds the whole stack in one call (a Fold run to
+// completion) — the non-incremental convenience used by Save*.
+func (ls *Levels) Materialize() *Index {
+	f := ls.StartFold()
+	for !f.Step(1 << 30) {
+	}
+	return f.Result()
+}
+
+// Save persists the folded index in format v1 (via Materialize).
+func (ls *Levels) Save(path string) error { return ls.Materialize().Save(path) }
+
+// SaveV2 persists the folded index in format v2 (via Materialize).
+func (ls *Levels) SaveV2(path string) error { return ls.Materialize().SaveV2(path) }
+
+// SaveV3 persists the folded index block-compressed in format v3 (via
+// Materialize).
+func (ls *Levels) SaveV3(path string) error { return ls.Materialize().SaveV3(path) }
+
+// FileBytes forwards the base storage's on-disk size (0 over a heap
+// base): tier runs are memory-resident and add no served file bytes
+// (spill files are recovery artifacts, not serving storage).
+func (ls *Levels) FileBytes() int {
+	if f, ok := ls.base.(interface{ FileBytes() int }); ok {
+		return f.FileBytes()
+	}
+	return 0
+}
+
+// DecodeStats forwards the base storage's decompression counters (zero
+// over an uncompressed base).
+func (ls *Levels) DecodeStats() (blocks, bytes int64) {
+	if d, ok := ls.base.(interface{ DecodeStats() (int64, int64) }); ok {
+		return d.DecodeStats()
+	}
+	return 0, 0
+}
+
+// Pin implements Pinner by delegating to the base (a heap base needs no
+// pinning and always succeeds).
+func (ls *Levels) Pin() error {
+	if p, ok := ls.base.(Pinner); ok {
+		return p.Pin()
+	}
+	return nil
+}
+
+// Unpin implements Pinner.
+func (ls *Levels) Unpin() {
+	if p, ok := ls.base.(Pinner); ok {
+		p.Unpin()
+	}
+}
+
+// Close releases the base storage when it is closeable (a mapped base's
+// unmap); stacks over heap bases close to a no-op.
+func (ls *Levels) Close() error {
+	if c, ok := ls.base.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+var _ Storage = (*Levels)(nil)

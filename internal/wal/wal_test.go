@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func openT(t *testing.T, path string) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, false)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, recs
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log has %d records", len(recs))
+	}
+	payloads := [][]byte{[]byte("alpha"), []byte(""), bytes.Repeat([]byte{0xAB}, 1000)}
+	for i, p := range payloads {
+		seq, err := l.Append(TypeBatch, p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d assigned seq %d", i, seq)
+		}
+	}
+	if l.Records() != 3 || l.NextSeq() != 4 {
+		t.Fatalf("Records=%d NextSeq=%d", l.Records(), l.NextSeq())
+	}
+	l.Close()
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("reopen decoded %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || r.Type != TypeBatch || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if l2.NextSeq() != 4 {
+		t.Fatalf("reopen NextSeq=%d, want 4", l2.NextSeq())
+	}
+}
+
+// TestTornTailEveryPrefix simulates a crash at every possible byte
+// boundary of the final record: each truncated image must reopen with
+// exactly the records whose frames fit intact, and appending afterwards
+// must work.
+func TestTornTailEveryPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, _ := openT(t, path)
+	if _, err := l.Append(TypeBatch, []byte("first record")); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterFirst := l.Size()
+	if _, err := l.Append(TypeSpill, []byte("second record, torn in the test")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := sizeAfterFirst; cut < int64(len(full)); cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs, err := Open(torn, false)
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		if len(recs) != 1 || string(recs[0].Payload) != "first record" {
+			t.Fatalf("cut=%d: recovered %d records", cut, len(recs))
+		}
+		if seq, err := l2.Append(TypeBatch, []byte("after repair")); err != nil || seq != 2 {
+			t.Fatalf("cut=%d: append after repair: seq=%d err=%v", cut, seq, err)
+		}
+		l2.Close()
+		l3, recs := openT(t, torn)
+		if len(recs) != 2 || string(recs[1].Payload) != "after repair" {
+			t.Fatalf("cut=%d: re-reopen got %d records", cut, len(recs))
+		}
+		l3.Close()
+	}
+}
+
+// TestCorruptFrameStopsDecode flips one byte in the middle record's
+// payload: decode must stop before it even though the final frame is
+// intact on disk (suffix records without their prefix are unusable).
+func TestCorruptFrameStopsDecode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	l.Append(TypeBatch, []byte("aaaa"))
+	start := l.Size()
+	l.Append(TypeBatch, []byte("bbbb"))
+	l.Append(TypeBatch, []byte("cccc"))
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[start+frameHeadLen] ^= 0xFF // corrupt second record's payload
+	os.WriteFile(path, data, 0o644)
+
+	l2, recs := openT(t, path)
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0].Payload) != "aaaa" {
+		t.Fatalf("recovered %d records after mid-log corruption", len(recs))
+	}
+	// The torn tail was truncated; sequence numbering resumes at 2.
+	if l2.NextSeq() != 2 {
+		t.Fatalf("NextSeq=%d after repair", l2.NextSeq())
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	os.WriteFile(path, []byte("not a wal file at all"), 0o644)
+	if _, _, err := Open(path, false); err == nil {
+		t.Fatal("Open accepted a non-WAL file")
+	}
+}
+
+func TestRewriteKeepsSuffixAndSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	for i := 0; i < 5; i++ {
+		l.Append(TypeBatch, []byte{byte('a' + i)})
+	}
+	// Truncate to the last two records, as a checkpoint at seq 3 would.
+	_, recs, err := Open(path, false)
+	if err == nil {
+		// Open on the same path while l holds it is fine on linux; we
+		// only needed the decoded records.
+		recs = recs[3:]
+	} else {
+		t.Fatal(err)
+	}
+	if err := l.Rewrite(recs); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if l.Records() != 2 {
+		t.Fatalf("Records=%d after rewrite", l.Records())
+	}
+	if seq, err := l.Append(TypeBatch, []byte("f")); err != nil || seq != 6 {
+		t.Fatalf("append after rewrite: seq=%d err=%v (must not reuse sequence numbers)", seq, err)
+	}
+	l.Close()
+
+	l2, got := openT(t, path)
+	defer l2.Close()
+	want := []uint64{4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("reopen after rewrite: %d records", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != want[i] {
+			t.Fatalf("record %d seq=%d want %d", i, r.Seq, want[i])
+		}
+	}
+}
+
+func TestRewriteRejectsOutOfOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	defer l.Close()
+	err := l.Rewrite([]Record{{Seq: 2, Type: TypeBatch}, {Seq: 1, Type: TypeBatch}})
+	if err == nil {
+		t.Fatal("Rewrite accepted out-of-order records")
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	in := BatchRecord{
+		Epoch: 42,
+		Edges: []graph.LabeledEdge{
+			{Src: "a", Label: "knows", Dst: "b"},
+			{Src: "", Label: "émile", Dst: "node with spaces"},
+		},
+	}
+	out, err := DecodeBatch(EncodeBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	empty, err := DecodeBatch(EncodeBatch(BatchRecord{Epoch: 7}))
+	if err != nil || empty.Epoch != 7 || len(empty.Edges) != 0 {
+		t.Fatalf("empty batch round trip: %+v, %v", empty, err)
+	}
+}
+
+func TestSpillCheckpointCodecRoundTrip(t *testing.T) {
+	s := SpillRecord{Epoch: 3, FromSeq: 10, ToSeq: 20, File: "spill-000020.pix"}
+	gs, err := DecodeSpill(EncodeSpill(s))
+	if err != nil || gs != s {
+		t.Fatalf("spill round trip: %+v, %v", gs, err)
+	}
+	c := CheckpointRecord{Epoch: 9, UptoSeq: 20, GraphFile: "graph-000020.txt", IndexFile: "base-000020.pix"}
+	gc, err := DecodeCheckpoint(EncodeCheckpoint(c))
+	if err != nil || gc != c {
+		t.Fatalf("checkpoint round trip: %+v, %v", gc, err)
+	}
+}
+
+func TestDecodeRejectsTruncatedPayloads(t *testing.T) {
+	full := EncodeBatch(BatchRecord{Epoch: 1, Edges: []graph.LabeledEdge{{Src: "a", Label: "l", Dst: "b"}}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeBatch(full[:cut]); err == nil && cut != 0 {
+			// cut==0 decodes as epoch 0 / no edges only if varints allow;
+			// any other prefix must error.
+			t.Fatalf("DecodeBatch accepted %d-byte prefix", cut)
+		}
+	}
+	if _, err := DecodeBatch(append(full, 0)); err == nil {
+		t.Fatal("DecodeBatch accepted trailing garbage")
+	}
+}

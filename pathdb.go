@@ -26,6 +26,15 @@
 // Four evaluation strategies from the paper are available; the default,
 // StrategyMinSupport, uses an equi-depth selectivity histogram to place
 // joins. See the Strategy constants.
+//
+// Beyond one-shot evaluation, a DB serves live traffic: Serve adds a
+// plan-caching front end, ApplyBatch maintains the index under edge
+// insertions by swapping in immutable engine snapshots (queries never
+// block on writes), and Compact folds accumulated update tiers back
+// into one index in bounded increments. BuildDurable/OpenDurable attach
+// a write-ahead log so acknowledged batches survive crashes — reopening
+// the same directory replays the log; see DurabilityOptions and
+// docs/ARCHITECTURE.md for the full picture.
 package pathdb
 
 import (
@@ -34,6 +43,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -41,6 +51,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/plancache"
 	"repro/internal/rpq"
+	"repro/internal/wal"
 )
 
 // Graph is a mutable, directed, edge-labeled graph. Create one with
@@ -153,6 +164,17 @@ type DB struct {
 	batches      atomic.Int64   // ApplyBatch calls that produced a new epoch
 	compactions  atomic.Int64   // completed compactions
 
+	// compactMu serializes compactions end to end (the incremental fold
+	// runs outside mu so batches keep flowing); foldActive gates tier
+	// merging off while a fold is in flight, because installing the fold
+	// requires its source tiers to survive as a prefix of the stack.
+	compactMu  sync.Mutex
+	foldActive atomic.Bool
+
+	// dur is the durable update state (WAL, spills, checkpoints) of a
+	// DB opened with BuildDurable/OpenDurable; nil otherwise.
+	dur *durableState
+
 	// baseCloser releases the storage opened with the DB (the mapped
 	// index file of Open); update snapshots layer over it without
 	// changing what must eventually be closed.
@@ -183,16 +205,7 @@ func Build(g *Graph, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("pathdb: nil graph")
 	}
 	g.Freeze()
-	engine, err := core.NewEngine(g, core.Options{
-		K:                opts.K,
-		HistogramBuckets: opts.HistogramBuckets,
-		StarBound:        opts.StarBound,
-		ExpandStars:      opts.ExpandStars,
-		MaxDisjuncts:     opts.MaxDisjuncts,
-		MaxPathLength:    opts.MaxPathLength,
-		MaxTotalSteps:    opts.MaxTotalSteps,
-		MaxIndexEntries:  opts.MaxIndexEntries,
-	})
+	engine, err := core.NewEngine(g, opts.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -374,15 +387,7 @@ func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
 	if opts.K == 0 {
 		opts.K = ix.K()
 	}
-	engine, err := core.NewEngineFromStorage(ix, core.Options{
-		K:                opts.K,
-		HistogramBuckets: opts.HistogramBuckets,
-		StarBound:        opts.StarBound,
-		ExpandStars:      opts.ExpandStars,
-		MaxDisjuncts:     opts.MaxDisjuncts,
-		MaxPathLength:    opts.MaxPathLength,
-		MaxTotalSteps:    opts.MaxTotalSteps,
-	})
+	engine, err := core.NewEngineFromStorage(ix, opts.coreOptions())
 	if err != nil {
 		if closer != nil {
 			closer.Close()
@@ -412,10 +417,16 @@ func (db *DB) Close() error {
 	// the mapping mid-release.
 	db.closed.Store(true)
 	db.compactWG.Wait()
-	if db.baseCloser != nil {
-		return db.baseCloser.Close()
+	var err error
+	if db.dur != nil {
+		err = db.dur.log.Close()
 	}
-	return nil
+	if db.baseCloser != nil {
+		if cerr := db.baseCloser.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // LabeledEdge is one edge of an update batch: src --label--> dst by
@@ -431,7 +442,12 @@ type LabeledEdge = graph.LabeledEdge
 // half-applied batch: a query runs either entirely before or entirely
 // after the swap. Duplicate edges are tolerated and ignored.
 //
-// If the accumulated delta exceeds Options.CompactRatio of the base
+// On a durable DB (BuildDurable/OpenDurable) the batch is appended to
+// the write-ahead log — fsync'd, CRC-framed, atomic per batch — before
+// the successor snapshot becomes visible, so an acknowledged batch
+// survives a crash at any point.
+//
+// If the accumulated tiers exceed Options.CompactRatio of the base
 // index, a background compaction is scheduled (see Compact). ApplyBatch
 // calls serialize among themselves; an empty batch is a no-op.
 func (db *DB) ApplyBatch(edges []LabeledEdge) error {
@@ -441,27 +457,51 @@ func (db *DB) ApplyBatch(edges []LabeledEdge) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	e := db.eng()
-	ne, err := e.ApplyBatch(edges)
-	if err != nil {
-		return err
+	var ne *core.Engine
+	var err error
+	if db.dur != nil {
+		// Compute the successor first so a rejected batch never reaches
+		// the log, then log it before publishing: everything visible is
+		// durable, and a logged-but-unpublished batch (crash window) is
+		// simply replayed on the next open.
+		ne, err = e.ApplyBatchTagged(edges, db.dur.log.NextSeq())
+		if err != nil {
+			return err
+		}
+		if ne != e {
+			payload := wal.EncodeBatch(wal.BatchRecord{Epoch: ne.Epoch(), Edges: edges})
+			if _, err := db.dur.append(wal.TypeBatch, payload); err != nil {
+				return err
+			}
+		}
+	} else {
+		ne, err = e.ApplyBatch(edges)
+		if err != nil {
+			return err
+		}
 	}
 	if ne != e {
 		db.engine.Store(ne)
 		db.batches.Add(1)
 	}
+	db.maintainTiers()
 	db.maybeCompact()
 	return nil
 }
 
+// deltaRatioed is satisfied by both update storages (the legacy Overlay
+// and the tiered Levels stack).
+type deltaRatioed interface{ DeltaRatio() float64 }
+
 // maybeCompact schedules a background compaction when the current
-// snapshot's delta overlay has outgrown the configured ratio. At most
+// snapshot's update tiers have outgrown the configured ratio. At most
 // one compaction runs at a time. Called with db.mu held.
 func (db *DB) maybeCompact() {
 	if db.compactRatio < 0 {
 		return
 	}
-	ov, ok := db.eng().Storage().(*pathindex.Overlay)
-	if !ok || ov.DeltaRatio() < db.compactRatio {
+	st, ok := db.eng().Storage().(deltaRatioed)
+	if !ok || st.DeltaRatio() < db.compactRatio {
 		return
 	}
 	if !db.compacting.CompareAndSwap(false, true) {
@@ -485,22 +525,69 @@ func (db *DB) maybeCompact() {
 	}()
 }
 
-// Compact folds the current snapshot's delta overlay into a fresh
+// Compact folds the current snapshot's update tiers into a fresh
 // immutable heap index and atomically swaps the compacted snapshot in,
-// resetting scan cost to one run per path. Queries keep flowing
-// throughout (the fold works on the immutable overlay off-line). It is
-// a no-op when no updates have been applied since the last compaction.
+// resetting scan cost to one run per path. The fold is incremental:
+// bounded steps (DurabilityOptions.CompactBudget entries each) run
+// outside the update lock, so batches keep applying mid-compaction and
+// no single step approaches the cost of a full rebuild; tiers pushed
+// while the fold runs are re-stacked over the folded base when it is
+// installed. Queries keep flowing throughout. On a durable DB a
+// completed compaction is persisted as a checkpoint — graph snapshot
+// plus v3 index — and the WAL is truncated to the suffix the checkpoint
+// does not cover. It is a no-op when no updates have been applied since
+// the last compaction.
 func (db *DB) Compact() error {
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	e := db.eng()
-	ne, err := e.Compact()
-	if err != nil {
+	if _, tiered := e.Storage().(*pathindex.Levels); !tiered {
+		// Legacy overlay (or nothing to fold): the one-call path.
+		ne, err := e.Compact()
+		if err == nil && ne != e {
+			db.engine.Store(ne)
+			db.compactions.Add(1)
+		}
+		db.mu.Unlock()
 		return err
 	}
-	if ne != e {
-		db.engine.Store(ne)
-		db.compactions.Add(1)
+	job, err := e.StartCompact()
+	if job == nil || err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.foldActive.Store(true)
+	db.mu.Unlock()
+	defer db.foldActive.Store(false)
+
+	budget := DefaultCompactBudget
+	if db.dur != nil {
+		budget = db.dur.opts.compactBudget()
+	}
+	for {
+		t0 := time.Now()
+		done := job.Step(budget)
+		db.noteCompactStep(time.Since(t0).Microseconds())
+		if done {
+			break
+		}
+	}
+
+	db.mu.Lock()
+	ne, err := db.eng().FinishCompact(job)
+	if err != nil {
+		db.mu.Unlock()
+		job.Abort()
+		return err
+	}
+	db.engine.Store(ne)
+	db.compactions.Add(1)
+	db.mu.Unlock()
+
+	if db.dur != nil {
+		return db.checkpoint(job)
 	}
 	return nil
 }
@@ -514,12 +601,15 @@ type UpdateStats struct {
 	AppliedBatches int64
 	Compactions    int64
 	// BaseEntries and DeltaEntries split the current index between the
-	// immutable base and the update overlay (DeltaEntries is 0 right
-	// after a compaction); DeltaRatio is their quotient, compared
+	// immutable base and the accumulated update tiers (DeltaEntries is 0
+	// right after a compaction); DeltaRatio is their quotient, compared
 	// against Options.CompactRatio.
 	BaseEntries  int
 	DeltaEntries int
 	DeltaRatio   float64
+	// Tiers is the depth of the current update tier stack (0 for a
+	// freshly built or compacted index, or legacy overlay storage).
+	Tiers int
 }
 
 // UpdateStats returns a snapshot of the live-update state.
@@ -531,10 +621,16 @@ func (db *DB) UpdateStats() UpdateStats {
 		Compactions:    db.compactions.Load(),
 		BaseEntries:    e.Storage().NumEntries(),
 	}
-	if ov, ok := e.Storage().(*pathindex.Overlay); ok {
-		st.BaseEntries = ov.BaseEntries()
-		st.DeltaEntries = ov.DeltaEntries()
-		st.DeltaRatio = ov.DeltaRatio()
+	switch s := e.Storage().(type) {
+	case *pathindex.Levels:
+		st.BaseEntries = s.BaseEntries()
+		st.DeltaEntries = s.DeltaEntries()
+		st.DeltaRatio = s.DeltaRatio()
+		st.Tiers = len(s.Tiers())
+	case *pathindex.Overlay:
+		st.BaseEntries = s.BaseEntries()
+		st.DeltaEntries = s.DeltaEntries()
+		st.DeltaRatio = s.DeltaRatio()
 	}
 	return st
 }
