@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+)
+
+// TestSuiteCleanOverRepo is the smoke test the CI gate relies on: the
+// full analyzer suite must report nothing across the repository. Any
+// finding here is either a real invariant violation to fix or an
+// analyzer false positive to refine — both block the build.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := driver.Apply(pkg, suite, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestVetProtocolHandshake checks the two introspection invocations go
+// vet makes before handing the tool any work.
+func TestVetProtocolHandshake(t *testing.T) {
+	exe := buildSelf(t)
+
+	out, err := exec.Command(exe, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "rpqlint version") || !strings.Contains(string(out), "buildID=") {
+		t.Errorf("-V=full output %q lacks version/buildID", out)
+	}
+
+	out, err = exec.Command(exe, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("-flags output %q, want []", out)
+	}
+}
+
+// TestVetToolEndToEnd runs the built binary under go vet exactly the
+// way CI does.
+func TestVetToolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole repo")
+	}
+	exe := buildSelf(t)
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+func buildSelf(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "rpqlint")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("building rpqlint: %v", err)
+	}
+	return exe
+}

@@ -1,0 +1,72 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis API surface that this repository's
+// custom linters (cmd/rpqlint and the analyzers under
+// internal/analysis/...) are written against.
+//
+// The build environment deliberately carries no module dependencies, so
+// the real x/tools framework is not available; this package mirrors its
+// core vocabulary — Analyzer, Pass, Diagnostic, Pass.Reportf — closely
+// enough that the analyzers would port to the upstream API by changing
+// only their import path. Features the analyzers do not need (facts,
+// Requires/ResultOf chaining, suggested fixes) are intentionally
+// omitted.
+//
+// Drivers live elsewhere: internal/analysis/driver loads packages with
+// full type information and applies analyzers to them (used by the
+// standalone `rpqlint ./...` mode and the analysistest harness), and
+// cmd/rpqlint additionally speaks the `go vet -vettool` unit-checker
+// protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, a documentation string,
+// and the function that runs the check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then free-form prose describing the invariant it enforces.
+	Doc string
+	// Run applies the check to one package. Diagnostics are delivered
+	// through pass.Report/Reportf; the error return is for operational
+	// failures of the analyzer itself (it aborts the whole run), not for
+	// findings. The result value is unused by this framework and exists
+	// only for upstream API compatibility.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Drivers install it; analyzers
+	// usually call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver
+// prefixes the reporting analyzer's name when printing.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,155 @@
+// Package analysistest runs internal/analysis analyzers over fixture
+// packages and checks their diagnostics against expectations embedded
+// in the fixture source — a dependency-free equivalent of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture package lives under testdata/src/<name>/ next to the
+// analyzer's test file. Lines where a diagnostic is expected carry a
+// trailing comment of the form
+//
+//	// want "regexp"
+//
+// (several quoted regexps expect several diagnostics on the same line).
+// Run fails the test if any expected diagnostic is missing, reported on
+// the wrong line, or if the analyzer reports anything unexpected — so a
+// fixture with no want comments asserts the analyzer stays silent.
+//
+// Fixtures are type-checked for real (imports resolve against the
+// standard library from source), so they must compile; violations are
+// semantic, not syntactic.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// expectation is one want clause: a line in a file and the regexp a
+// diagnostic there must match.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// wantRx matches one quoted regexp of a want comment.
+var wantRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run analyzes each named fixture package under testdata/src and checks
+// the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+	}
+}
+
+func runOne(t *testing.T, dir, name string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("%s: no fixture files in %s", name, dir)
+	}
+	sort.Strings(filenames)
+
+	fset := token.NewFileSet()
+	pkg, err := driver.CheckFiles(fset, name, filenames, importer.ForCompiler(fset, "source", nil), "")
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+
+	diags, err := driver.Apply(pkg, []*analysis.Analyzer{a}, false)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				name, filepath.Base(d.Position.Filename), d.Position.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s: missing diagnostic at %s:%d matching %q",
+				name, filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmet expectation matching d and reports
+// whether one existed.
+func claim(expects []*expectation, d driver.Diagnostic) bool {
+	for _, e := range expects {
+		if !e.met && e.file == d.Position.Filename && e.line == d.Position.Line && e.re.MatchString(d.Message) {
+			e.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every want comment of the package.
+func collectWants(pkg *driver.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				for _, quoted := range wantRx.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want clause %s: %v", posn, quoted, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", posn, quoted, err)
+					}
+					out = append(out, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

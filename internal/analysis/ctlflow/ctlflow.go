@@ -1,0 +1,245 @@
+// Package ctlflow is the small abstract-interpretation engine behind
+// the flow-sensitive rpqlint analyzers (pinpair, walorder). It walks a
+// function body in control order, threading a bounded set of abstract
+// states through every statement, forking the set at branches and
+// re-joining it afterwards — precise enough to tell "the error path
+// returns before the resource is released" apart from "every path
+// releases", without building a real CFG.
+//
+// The walk is deliberately conservative where Go control flow gets
+// exotic: a loop body is interpreted once and its exit set is unioned
+// with the zero-iteration set; break/continue/goto end the walk of
+// their statement list without a function-exit check; panics and
+// os.Exit/Fatal-style calls terminate a path. Function literals are
+// opaque to the walk — analyzers inspect them through their own hooks
+// (e.g. a deferred literal that releases a resource) and analyze their
+// bodies as separate functions.
+package ctlflow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// maxStates bounds the abstract state set; beyond it the walk keeps an
+// arbitrary subset, trading exhaustiveness for termination. Real
+// functions fork a handful of boolean states, nowhere near the cap.
+const maxStates = 16
+
+// Funcs are an analyzer's transfer functions. Any field may be nil.
+type Funcs[S comparable] struct {
+	// Stmt transforms the state set across one atomic statement
+	// (assignment, expression, defer, send, ...). Compound statements
+	// (if/for/switch) are handled by the walker, which feeds their
+	// simple components — inits, posts, comm clauses — back through
+	// Stmt.
+	Stmt func(stmt ast.Stmt, in []S) []S
+	// Branch splits the state set entering an if statement's then and
+	// else arms, given the condition. The default passes the incoming
+	// set to both arms.
+	Branch func(cond ast.Expr, in []S) (then, els []S)
+	// Return observes every function exit: ret is the return statement,
+	// or nil for falling off the end of the body (pos then points at
+	// the closing brace).
+	Return func(pos token.Pos, ret *ast.ReturnStmt, in []S)
+}
+
+// Walk interprets body starting from the single state init.
+func Walk[S comparable](body *ast.BlockStmt, init S, fn Funcs[S]) {
+	w := walker[S]{fn: fn}
+	out, terminated := w.stmts(body.List, []S{init})
+	if !terminated && fn.Return != nil {
+		fn.Return(body.Rbrace, nil, out)
+	}
+}
+
+type walker[S comparable] struct {
+	fn Funcs[S]
+}
+
+func (w *walker[S]) atomic(s ast.Stmt, in []S) []S {
+	if w.fn.Stmt == nil {
+		return in
+	}
+	return clamp(w.fn.Stmt(s, in))
+}
+
+func (w *walker[S]) branch(cond ast.Expr, in []S) (then, els []S) {
+	if w.fn.Branch == nil {
+		return in, in
+	}
+	then, els = w.fn.Branch(cond, in)
+	return clamp(then), clamp(els)
+}
+
+// stmts interprets a statement list; terminated reports that every path
+// left the list early (return, panic, break, ...).
+func (w *walker[S]) stmts(list []ast.Stmt, in []S) (out []S, terminated bool) {
+	for _, s := range list {
+		in, terminated = w.stmt(s, in)
+		if terminated {
+			return nil, true
+		}
+	}
+	return in, false
+}
+
+func (w *walker[S]) stmt(s ast.Stmt, in []S) (out []S, terminated bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, in)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, in)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if in, terminated = w.stmt(s.Init, in); terminated {
+				return nil, true
+			}
+		}
+		thenIn, elseIn := w.branch(s.Cond, in)
+		thenOut, thenTerm := w.stmt(s.Body, thenIn)
+		elseOut, elseTerm := elseIn, false
+		if s.Else != nil {
+			elseOut, elseTerm = w.stmt(s.Else, elseIn)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return nil, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return union(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if in, terminated = w.stmt(s.Init, in); terminated {
+				return nil, true
+			}
+		}
+		bodyOut, _ := w.stmt(s.Body, in)
+		if s.Post != nil {
+			bodyOut, _ = w.stmt(s.Post, bodyOut)
+		}
+		return union(in, bodyOut), false
+	case *ast.RangeStmt:
+		bodyOut, _ := w.stmt(s.Body, in)
+		return union(in, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.clauses(s, in)
+	case *ast.ReturnStmt:
+		if w.fn.Return != nil {
+			w.fn.Return(s.Pos(), s, in)
+		}
+		return nil, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; any pin/publish
+		// state they carry re-merges via the loop handling above.
+		return nil, true
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			return nil, true
+		}
+		return w.atomic(s, in), false
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec, Empty.
+		return w.atomic(s, in), false
+	}
+}
+
+// clauses interprets switch/type-switch/select bodies: each clause runs
+// from the incoming set; a switch without a default may also fall
+// through unmatched.
+func (w *walker[S]) clauses(s ast.Stmt, in []S) (out []S, terminated bool) {
+	var init ast.Stmt
+	var body *ast.BlockStmt
+	exhaustive := false // a select always takes some clause
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, body = s.Init, s.Body
+	case *ast.TypeSwitchStmt:
+		init, body = s.Init, s.Body
+	case *ast.SelectStmt:
+		body, exhaustive = s.Body, true
+	}
+	if init != nil {
+		if in, terminated = w.stmt(init, in); terminated {
+			return nil, true
+		}
+	}
+	var outs []S
+	anyOpen := false
+	for _, clause := range body.List {
+		clauseIn := in
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				exhaustive = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				exhaustive = true
+			} else if clauseIn, terminated = w.stmt(c.Comm, clauseIn); terminated {
+				continue
+			}
+			stmts = c.Body
+		}
+		cOut, cTerm := w.stmts(stmts, clauseIn)
+		if !cTerm {
+			outs = union(outs, cOut)
+			anyOpen = true
+		}
+	}
+	if exhaustive && !anyOpen && len(body.List) > 0 {
+		return nil, true
+	}
+	if !exhaustive {
+		outs = union(outs, in)
+	}
+	return outs, false
+}
+
+// isTerminalCall recognizes expression statements that never return:
+// panic(...) and Exit/Fatal-style calls.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Exit" || strings.HasPrefix(fun.Sel.Name, "Fatal")
+	}
+	return false
+}
+
+// union merges state sets, deduplicating and clamping.
+func union[S comparable](a, b []S) []S {
+	if len(a) == 0 {
+		return clamp(b)
+	}
+	seen := make(map[S]bool, len(a)+len(b))
+	out := make([]S, 0, len(a)+len(b))
+	for _, sets := range [2][]S{a, b} {
+		for _, s := range sets {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return clamp(out)
+}
+
+func clamp[S comparable](s []S) []S {
+	if len(s) > maxStates {
+		return s[:maxStates]
+	}
+	return s
+}

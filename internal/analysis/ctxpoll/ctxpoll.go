@@ -1,0 +1,118 @@
+// Package ctxpoll defines an analyzer enforcing the execution stack's
+// cancellation contract: every exec operator's NextBatch method that
+// contains a loop — and can therefore iterate for an unbounded stretch
+// of work — must poll its context, so that a cancelled query unwinds
+// within one batch per operator instead of running to exhaustion.
+//
+// A method polls its context if it contains any of:
+//
+//   - a call to (context.Context).Err or Done (including the idiomatic
+//     select on <-ctx.Done()),
+//   - a call to any function or method that itself takes a
+//     context.Context — the delegation pattern of exec.cancelled(ctx)
+//     and of closure operators that poll inside helpers.
+//
+// Loop-free NextBatch bodies are exempt: they do a bounded amount of
+// work per call, so the operator above or below them bounds the
+// latency of cancellation.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/typeutil"
+)
+
+// Analyzer flags NextBatch methods that loop without polling a context.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "check that looping exec-operator NextBatch methods poll cancellation\n\n" +
+		"Every operator NextBatch with a loop must contain a ctx.Err()/ctx.Done()\n" +
+		"check or call a helper taking a context.Context (e.g. exec.cancelled),\n" +
+		"so cancelled queries stop at batch boundaries.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || fd.Name.Name != "NextBatch" {
+				continue
+			}
+			if !isOperatorNextBatch(pass.TypesInfo, fd) {
+				continue
+			}
+			if !hasLoop(fd.Body) {
+				continue
+			}
+			if pollsContext(pass.TypesInfo, fd.Body) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"NextBatch loops without polling cancellation: add a ctx.Err()/ctx.Done() check or a cancelled(ctx)-style helper call so the operator stops at batch boundaries")
+		}
+	}
+	return nil, nil
+}
+
+// isOperatorNextBatch reports whether fd has the Operator interface's
+// NextBatch shape: one slice parameter, one int result.
+func isOperatorNextBatch(info *types.Info, fd *ast.FuncDecl) bool {
+	obj := info.Defs[fd.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if _, isSlice := sig.Params().At(0).Type().Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	basic, isBasic := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return isBasic && basic.Kind() == types.Int
+}
+
+// hasLoop reports whether body contains any for or range statement.
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// pollsContext reports whether body contains a cancellation poll.
+func pollsContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Direct poll: ctx.Err() / ctx.Done().
+		if recv, name, isMethod := typeutil.MethodCall(info, call); isMethod {
+			if (name == "Err" || name == "Done") && typeutil.IsContext(info.TypeOf(recv)) {
+				found = true
+				return false
+			}
+		}
+		// Delegated poll: any callee that takes a context.Context.
+		if typeutil.TakesContext(typeutil.CalleeSignature(info, call)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxpoll"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxpoll.Analyzer, "a")
+}

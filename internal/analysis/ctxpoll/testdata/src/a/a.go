@@ -1,0 +1,125 @@
+// Fixture for the ctxpoll analyzer: operator-shaped NextBatch methods
+// that loop must poll cancellation.
+package a
+
+import "context"
+
+type Pair struct{ S, D uint32 }
+
+// cancelled is the delegation helper the real exec package uses.
+func cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// badScan loops over its rows without ever looking at the context.
+type badScan struct {
+	ctx  context.Context
+	rows []Pair
+	off  int
+}
+
+func (s *badScan) NextBatch(buf []Pair) int { // want "NextBatch loops without polling cancellation"
+	n := 0
+	for n < len(buf) && s.off < len(s.rows) {
+		buf[n] = s.rows[s.off]
+		n++
+		s.off++
+	}
+	return n
+}
+
+// goodDirect polls ctx.Err() directly.
+type goodDirect struct {
+	ctx  context.Context
+	rows []Pair
+	off  int
+}
+
+func (s *goodDirect) NextBatch(buf []Pair) int {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return 0
+	}
+	n := 0
+	for n < len(buf) && s.off < len(s.rows) {
+		buf[n] = s.rows[s.off]
+		n++
+		s.off++
+	}
+	return n
+}
+
+// goodHelper delegates the poll to a context-taking helper.
+type goodHelper struct {
+	ctx  context.Context
+	rows []Pair
+	off  int
+}
+
+func (s *goodHelper) NextBatch(buf []Pair) int {
+	if cancelled(s.ctx) {
+		return 0
+	}
+	n := 0
+	for n < len(buf) && s.off < len(s.rows) {
+		buf[n] = s.rows[s.off]
+		n++
+		s.off++
+	}
+	return n
+}
+
+// goodSelect polls via the idiomatic select on ctx.Done().
+type goodSelect struct {
+	ctx  context.Context
+	rows []Pair
+	off  int
+}
+
+func (s *goodSelect) NextBatch(buf []Pair) int {
+	select {
+	case <-s.ctx.Done():
+		return 0
+	default:
+	}
+	n := 0
+	for n < len(buf) && s.off < len(s.rows) {
+		buf[n] = s.rows[s.off]
+		n++
+		s.off++
+	}
+	return n
+}
+
+// loopFree does a constant amount of work per call: exempt.
+type loopFree struct {
+	row  Pair
+	done bool
+}
+
+func (s *loopFree) NextBatch(buf []Pair) int {
+	if s.done || len(buf) == 0 {
+		return 0
+	}
+	buf[0] = s.row
+	s.done = true
+	return 1
+}
+
+// notOperator has a NextBatch whose shape does not match the Operator
+// interface (no slice in, no int out): out of scope.
+type notOperator struct{ n int }
+
+func (s *notOperator) NextBatch(limit int) bool {
+	for i := 0; i < limit; i++ {
+		s.n++
+	}
+	return s.n > 0
+}

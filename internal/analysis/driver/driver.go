@@ -1,0 +1,268 @@
+// Package driver loads Go packages with full type information and
+// applies internal/analysis analyzers to them — the engine behind the
+// standalone `rpqlint ./...` mode and the analysistest harness.
+//
+// Loading uses only the standard toolchain: `go list -export -deps
+// -json` enumerates the target packages and produces gc export data for
+// every dependency (standard library included), and the stock
+// go/importer gc importer type-checks each target package's source
+// against those export files. This is the same division of labor as
+// x/tools' unitchecker — full syntax for the packages under analysis,
+// compiled export data for everything they import — without the x/tools
+// dependency, and it works fully offline against the build cache.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Diagnostic is a driver-level finding: the analyzer that produced it
+// plus the resolved file position.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+}
+
+// goList runs `go list -export -deps -json` over the patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types importer that resolves every import
+// from gc export data files. lookup maps an import path (as written in
+// source, already canonicalized by the caller if needed) to the export
+// file serving it.
+func exportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.ImporterFrom {
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return imp.(types.ImporterFrom)
+}
+
+// CheckFiles parses and type-checks one package from explicit file
+// paths, importing dependencies through imp. goVersion may be empty.
+func CheckFiles(fset *token.FileSet, importPath string, filenames []string, imp types.Importer, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %v", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Fset: fset, Files: files, Types: pkg, TypesInfo: info}, nil
+}
+
+// Load lists the packages matching patterns (resolved relative to dir;
+// "" means the current directory) and type-checks each non-dependency
+// match from source. Test files are not included — the invariants the
+// analyzers enforce live in shipped code, and excluding tests keeps the
+// standalone run's verdict identical to the vet-mode run after its
+// _test.go diagnostic filter.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		file, ok := exports[path]
+		return file, ok
+	})
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		var filenames []string
+		for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+			filenames = append(filenames, filepath.Join(p.Dir, name))
+		}
+		if len(filenames) == 0 {
+			continue
+		}
+		pkg, err := CheckFiles(fset, p.ImportPath, filenames, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// VetConfig is the JSON configuration file go vet hands a -vettool for
+// each compilation unit (the x/tools unitchecker protocol), reduced to
+// the fields rpqlint consumes.
+type VetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig decodes one *.cfg file written by go vet.
+func ReadVetConfig(cfgFile string) (*VetConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, fmt.Errorf("driver: reading vet config: %v", err)
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("driver: parsing vet config %s: %v", cfgFile, err)
+	}
+	return cfg, nil
+}
+
+// LoadVetUnit type-checks the compilation unit cfg describes, resolving
+// imports through the export files go vet already compiled: source
+// import paths go through ImportMap to their canonical form, which
+// PackageFile maps to a gc export file.
+func LoadVetUnit(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+	return CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+}
+
+// Apply runs every analyzer over pkg and returns the findings sorted by
+// position. When skipTestFiles is set, diagnostics positioned in
+// _test.go files are dropped — used by the vet mode, where go vet hands
+// the tool test-augmented packages.
+func Apply(pkg *Package, analyzers []*analysis.Analyzer, skipTestFiles bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			posn := pkg.Fset.Position(d.Pos)
+			if skipTestFiles && strings.HasSuffix(posn.Filename, "_test.go") {
+				return
+			}
+			out = append(out, Diagnostic{Analyzer: name, Position: posn, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("driver: analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

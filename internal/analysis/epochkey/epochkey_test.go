@@ -1,0 +1,12 @@
+package epochkey_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochkey"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), epochkey.Analyzer, "a")
+}

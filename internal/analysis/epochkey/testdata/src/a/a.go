@@ -1,0 +1,53 @@
+// Fixture for the epochkey analyzer: keyed literals of epoch-carrying
+// structs must set the epoch field.
+package a
+
+type cachedPlan struct {
+	plan  string
+	cost  int
+	epoch uint64
+}
+
+type Entry struct {
+	Val   string
+	Epoch uint64
+}
+
+type plain struct {
+	a, b int
+}
+
+func goodKeyed(e uint64) cachedPlan {
+	return cachedPlan{plan: "p", epoch: e}
+}
+
+func goodZero() cachedPlan {
+	return cachedPlan{}
+}
+
+func goodPositional() cachedPlan {
+	return cachedPlan{"p", 3, 1}
+}
+
+func goodExported(e uint64) *Entry {
+	return &Entry{Val: "v", Epoch: e}
+}
+
+func goodPlain() plain {
+	return plain{a: 1}
+}
+
+func badKeyed() *cachedPlan {
+	return &cachedPlan{plan: "p", cost: 2} // want "cachedPlan literal omits the epoch field"
+}
+
+func badExported() Entry {
+	return Entry{Val: "v"} // want "Entry literal omits the Epoch field"
+}
+
+func badInSlice() []cachedPlan {
+	return []cachedPlan{
+		{plan: "a", epoch: 1},
+		{plan: "b"}, // want "cachedPlan literal omits the epoch field"
+	}
+}

@@ -1,0 +1,159 @@
+// Package errwrapctx defines an analyzer keeping the error-inspection
+// contract intact across wrapping: callers distinguish cancellation
+// from real failures with errors.Is(err, context.Canceled) and probe
+// storage state with errors.Is(err, pathindex.ErrClosed), so any
+// fmt.Errorf that folds ctx.Err() or a package-level sentinel error
+// into a message must use %w. Formatting them with %v or %s flattens
+// the chain to a string and silently breaks every errors.Is / errors.As
+// test upstream.
+package errwrapctx
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/typeutil"
+)
+
+// Analyzer flags sentinel errors formatted with a non-wrapping verb.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapctx",
+	Doc: "check that ctx.Err() and sentinel errors are wrapped with %w\n\n" +
+		"fmt.Errorf over ctx.Err() or a package-level error value must use\n" +
+		"%w so errors.Is/errors.As keep seeing the sentinel through the\n" +
+		"wrapper; %v and %s erase the chain.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isErrorf(pass.TypesInfo, call) || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, op := range verbArgs(format, call.Args[1:]) {
+				if op.verb == 'w' {
+					continue
+				}
+				if why := sentinelKind(pass.TypesInfo, op.arg); why != "" {
+					pass.Reportf(op.arg.Pos(),
+						"%s formatted with %%%c breaks errors.Is: use %%w to keep the sentinel in the chain",
+						why, op.verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isErrorf reports whether call is fmt.Errorf.
+func isErrorf(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "fmt"
+}
+
+// verbArg pairs one formatting verb with the argument it consumes.
+type verbArg struct {
+	verb rune
+	arg  ast.Expr
+}
+
+// verbArgs maps format verbs to their operands, consuming extra
+// arguments for * width/precision, and skipping %% and %!.
+func verbArgs(format string, args []ast.Expr) []verbArg {
+	var out []verbArg
+	next := 0
+	take := func() (ast.Expr, bool) {
+		if next < len(args) {
+			next++
+			return args[next-1], true
+		}
+		return nil, false
+	}
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision; '*' consumes an argument.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				take()
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		verb := runes[i]
+		if verb == '%' || verb == '!' {
+			continue
+		}
+		if arg, ok := take(); ok {
+			out = append(out, verbArg{verb: verb, arg: arg})
+		}
+	}
+	return out
+}
+
+// sentinelKind classifies arg as a chain-relevant error: a direct
+// ctx.Err() call, or a reference to a package-level error variable
+// (sentinel). Returns a description for the diagnostic, or "".
+func sentinelKind(info *types.Info, arg ast.Expr) string {
+	switch e := arg.(type) {
+	case *ast.CallExpr:
+		if recv, name, ok := typeutil.MethodCall(info, e); ok && name == "Err" && typeutil.IsContext(info.TypeOf(recv)) {
+			return "ctx.Err()"
+		}
+	case *ast.Ident:
+		if obj := info.Uses[e]; isSentinel(obj) {
+			return "sentinel error " + e.Name
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; isSentinel(obj) {
+			return "sentinel error " + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// isSentinel reports whether obj is a package-level var of error type.
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return types.Implements(v.Type(), errorInterface) ||
+		types.Implements(types.NewPointer(v.Type()), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

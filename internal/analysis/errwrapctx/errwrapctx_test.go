@@ -1,0 +1,12 @@
+package errwrapctx_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errwrapctx"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errwrapctx.Analyzer, "a")
+}

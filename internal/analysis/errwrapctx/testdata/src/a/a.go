@@ -1,0 +1,52 @@
+// Fixture for the errwrapctx analyzer: ctx.Err() and package-level
+// sentinel errors must be wrapped with %w, never flattened with %v/%s.
+package a
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("storage: closed")
+var errInternal = errors.New("internal")
+
+func badCtxV(ctx context.Context) error {
+	return fmt.Errorf("query aborted: %v", ctx.Err()) // want "formatted with %v breaks errors.Is"
+}
+
+func badSentinelS() error {
+	return fmt.Errorf("open index: %s", ErrClosed) // want "sentinel error ErrClosed formatted with %s"
+}
+
+func badUnexported() error {
+	return fmt.Errorf("op: %v", errInternal) // want "sentinel error errInternal formatted with %v"
+}
+
+func badSecondArg(n int) error {
+	return fmt.Errorf("batch %d: %v", n, ErrClosed) // want "sentinel error ErrClosed formatted with %v"
+}
+
+func goodCtxW(ctx context.Context) error {
+	return fmt.Errorf("query aborted: %w", ctx.Err())
+}
+
+func goodSentinelW() error {
+	return fmt.Errorf("open index: %w", ErrClosed)
+}
+
+func goodLocalErr(err error) error {
+	// A local error variable may already be a wrapped chain; %v on it is
+	// a style question, not a chain break this analyzer can judge.
+	return fmt.Errorf("op: %v", err)
+}
+
+func goodSprintf() string {
+	// Sprintf builds a message, not an error chain.
+	return fmt.Sprintf("state: %v", ErrClosed)
+}
+
+func goodStarWidth() error {
+	// The * consumes an int argument; the sentinel still lands on %w.
+	return fmt.Errorf("pad %*d: %w", 4, 7, ErrClosed)
+}

@@ -1,0 +1,356 @@
+// Package pinpair defines an analyzer enforcing the storage layer's
+// reader-pin protocol: every successful Pin() on a pathindex.Pinner
+// (or any value whose method set pairs Pin with Unpin) must be released
+// by Unpin() on every path out of the function — including early error
+// returns — or handed off explicitly by deferring the release or
+// returning the Unpin method value to the caller.
+//
+// The check is flow-sensitive: it interprets the function body in
+// control order, tracking per-path whether the pin is live and whether
+// a release has been deferred, and it understands the idiomatic error
+// guard (`if err := p.Pin(); err != nil { return err }` pins only on
+// the success path). Methods themselves named Pin/Unpin are exempt —
+// they are the forwarding implementations of the protocol, not its
+// users.
+package pinpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctlflow"
+	"repro/internal/analysis/typeutil"
+)
+
+// Analyzer flags Pin() calls that can leak past a function exit.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinpair",
+	Doc: "check that every Pin() is released by Unpin() on all paths\n\n" +
+		"A reader pin on mmap-backed storage must not outlive its function:\n" +
+		"each path to a return needs a matching Unpin(), a deferred release,\n" +
+		"or must hand the Unpin method value back to the caller.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := isProtocolMethod(fd.Name.Name)
+			for _, body := range functionBodies(fd.Body) {
+				// The exemption covers only the named method's own body;
+				// literals nested inside it are ordinary users.
+				if exempt && body == fd.Body {
+					continue
+				}
+				checkBody(pass, body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isProtocolMethod reports whether name is one of the pin-protocol
+// forwarders, which pin without releasing by design.
+func isProtocolMethod(name string) bool {
+	switch name {
+	case "Pin", "pin", "Unpin", "unpin":
+		return true
+	}
+	return false
+}
+
+// functionBodies returns body plus the body of every function literal
+// nested in it, each analyzed as an independent function.
+func functionBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, fl.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// pstate is the per-path abstract state for one pin site.
+type pstate struct {
+	pinned   bool // the pin is live on this path
+	deferred bool // a release has been deferred on this path
+	errLive  bool // errObj still holds Pin's error result
+}
+
+// site is one Pin() call under analysis.
+type site struct {
+	call   *ast.CallExpr
+	recv   string // receiver expression text, e.g. "p" or "e.ix"
+	errObj types.Object
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	for _, call := range pinCalls(pass.TypesInfo, body) {
+		checkSite(pass, body, call)
+	}
+}
+
+// pinCalls finds Pin() method calls in body (not descending into
+// nested function literals, which are analyzed separately) whose
+// receiver type also has an Unpin method. Calls inside return
+// statements are skipped: `return p.Pin()` forwards the pin to the
+// caller by construction.
+func pinCalls(info *types.Info, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			return false
+		case *ast.CallExpr:
+			recv, name, ok := typeutil.MethodCall(info, n)
+			if ok && name == "Pin" && len(n.Args) == 0 && typeutil.HasMethod(info.TypeOf(recv), "Unpin") {
+				out = append(out, n)
+			}
+		}
+		return true
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, inspect)
+	}
+	return out
+}
+
+func checkSite(pass *analysis.Pass, body *ast.BlockStmt, pin *ast.CallExpr) {
+	st := &site{call: pin, recv: types.ExprString(pin.Fun.(*ast.SelectorExpr).X)}
+	pinLine := pass.Fset.Position(pin.Pos()).Line
+	reported := map[token.Pos]bool{}
+
+	ctlflow.Walk(body, pstate{}, ctlflow.Funcs[pstate]{
+		Stmt: func(stmt ast.Stmt, in []pstate) []pstate {
+			return transfer(pass.TypesInfo, st, stmt, in)
+		},
+		Branch: func(cond ast.Expr, in []pstate) (then, els []pstate) {
+			return branch(pass.TypesInfo, st, cond, in)
+		},
+		Return: func(pos token.Pos, ret *ast.ReturnStmt, in []pstate) {
+			if ret != nil && returnsUnpinValue(ret, st.recv) {
+				return
+			}
+			for _, s := range in {
+				if s.pinned && !s.deferred {
+					if !reported[pos] {
+						reported[pos] = true
+						if ret == nil {
+							pass.Reportf(pos, "function can end while %s is still pinned (Pin at line %d): release with %s.Unpin() or defer it", st.recv, pinLine, st.recv)
+						} else {
+							pass.Reportf(pos, "return while %s is pinned (Pin at line %d): release with %s.Unpin() on this path or defer it", st.recv, pinLine, st.recv)
+						}
+					}
+					return
+				}
+			}
+		},
+	})
+}
+
+// transfer interprets one atomic statement for the site.
+func transfer(info *types.Info, st *site, stmt ast.Stmt, in []pstate) []pstate {
+	switch s := stmt.(type) {
+	case *ast.DeferStmt:
+		if deferReleases(info, s.Call, st.recv) {
+			return mapStates(in, func(p pstate) pstate { p.deferred = true; return p })
+		}
+		return in
+	case *ast.GoStmt:
+		return in
+	}
+	if contains(stmt, st.call) {
+		// The pin fires: record the error variable when the call's
+		// result is captured (err := p.Pin(), including if-inits).
+		st.errObj = nil
+		if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 && contains(as.Rhs[0], st.call) {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					st.errObj = obj
+				} else {
+					st.errObj = info.Uses[id]
+				}
+			}
+		}
+		return mapStates(in, func(p pstate) pstate {
+			p.pinned = true
+			p.errLive = st.errObj != nil
+			return p
+		})
+	}
+	if releasesIn(info, stmt, st.recv) {
+		return mapStates(in, func(p pstate) pstate { p.pinned = false; return p })
+	}
+	if st.errObj != nil && reassigns(info, stmt, st.errObj) {
+		return mapStates(in, func(p pstate) pstate { p.errLive = false; return p })
+	}
+	return in
+}
+
+// branch models the error guard: when the condition tests the very
+// error variable Pin returned, the nil side of the comparison is the
+// successfully-pinned path and the non-nil side never pinned.
+func branch(info *types.Info, st *site, cond ast.Expr, in []pstate) (then, els []pstate) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || st.errObj == nil {
+		return in, in
+	}
+	var id *ast.Ident
+	switch {
+	case isNil(bin.Y):
+		id, _ = bin.X.(*ast.Ident)
+	case isNil(bin.X):
+		id, _ = bin.Y.(*ast.Ident)
+	}
+	if id == nil || info.Uses[id] != st.errObj {
+		return in, in
+	}
+	success := func(p pstate) pstate { p.errLive = false; return p }
+	failure := func(p pstate) pstate { p.pinned, p.errLive = false, false; return p }
+	switch bin.Op {
+	case token.NEQ:
+		return splitStates(in, failure, success)
+	case token.EQL:
+		return splitStates(in, success, failure)
+	}
+	return in, in
+}
+
+// deferReleases reports whether a deferred call releases the pin:
+// `defer recv.Unpin()` directly, or a deferred function literal whose
+// body calls recv.Unpin().
+func deferReleases(info *types.Info, call *ast.CallExpr, recv string) bool {
+	if isUnpinCall(info, call, recv) {
+		return true
+	}
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isUnpinCall(info, c, recv) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// releasesIn reports whether stmt calls recv.Unpin() outside nested
+// function literals.
+func releasesIn(info *types.Info, stmt ast.Stmt, recv string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && isUnpinCall(info, c, recv) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isUnpinCall(info *types.Info, call *ast.CallExpr, recv string) bool {
+	r, name, ok := typeutil.MethodCall(info, call)
+	return ok && name == "Unpin" && types.ExprString(r) == recv
+}
+
+// returnsUnpinValue reports whether a return hands the recv.Unpin
+// method value (uncalled) back to the caller — the release-func pattern
+// of core.Engine.pin.
+func returnsUnpinValue(ret *ast.ReturnStmt, recv string) bool {
+	found := false
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				// A called Unpin inside a result expression is not a
+				// hand-off; skip the call's Fun position.
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						if sel, ok := m.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" && types.ExprString(sel.X) == recv {
+							found = true
+						}
+						return !found
+					})
+				}
+				return false
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" && types.ExprString(sel.X) == recv {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// reassigns reports whether stmt writes obj (clearing the error-guard
+// association).
+func reassigns(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if info.Defs[id] == obj || info.Uses[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func contains(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func mapStates(in []pstate, f func(pstate) pstate) []pstate {
+	out := make([]pstate, len(in))
+	for i, p := range in {
+		out[i] = f(p)
+	}
+	return out
+}
+
+func splitStates(in []pstate, then, els func(pstate) pstate) (t, e []pstate) {
+	t = make([]pstate, len(in))
+	e = make([]pstate, len(in))
+	for i, p := range in {
+		if p.errLive {
+			t[i], e[i] = then(p), els(p)
+		} else {
+			t[i], e[i] = p, p
+		}
+	}
+	return t, e
+}

@@ -1,0 +1,12 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pinpair"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), pinpair.Analyzer, "a")
+}

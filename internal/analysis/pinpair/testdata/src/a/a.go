@@ -1,0 +1,102 @@
+// Fixture for the pinpair analyzer: every Pin must meet an Unpin on
+// every path out of the function.
+package a
+
+import "errors"
+
+type res struct{ pins int }
+
+func (r *res) Pin() error { r.pins++; return nil }
+func (r *res) Unpin()     { r.pins-- }
+
+var errBoom = errors.New("boom")
+
+// leakEarly releases on the happy path but leaks on the early return.
+func leakEarly(r *res, fail bool) error {
+	if err := r.Pin(); err != nil {
+		return err
+	}
+	if fail {
+		return errBoom // want "return while r is pinned"
+	}
+	r.Unpin()
+	return nil
+}
+
+// leakEnd falls off the end of the function with the pin held.
+func leakEnd(r *res) {
+	if err := r.Pin(); err != nil {
+		return
+	}
+	r.pins += 0
+} // want "function can end while r is still pinned"
+
+// leakCondDefer defers the release on only one branch.
+func leakCondDefer(r *res, ok bool) error {
+	if err := r.Pin(); err != nil {
+		return err
+	}
+	if ok {
+		defer r.Unpin()
+	}
+	return nil // want "return while r is pinned"
+}
+
+// goodDefer is the canonical pattern: guard, then defer.
+func goodDefer(r *res) error {
+	if err := r.Pin(); err != nil {
+		return err
+	}
+	defer r.Unpin()
+	return nil
+}
+
+// goodAllPaths releases explicitly on every path.
+func goodAllPaths(r *res, fail bool) error {
+	if err := r.Pin(); err != nil {
+		return err
+	}
+	if fail {
+		r.Unpin()
+		return errBoom
+	}
+	r.Unpin()
+	return nil
+}
+
+// goodErrGuard: the failure path of the guard never pinned, so its
+// return needs no release.
+func goodErrGuard(r *res) error {
+	err := r.Pin()
+	if err != nil {
+		return err
+	}
+	r.Unpin()
+	return nil
+}
+
+// goodHandoff returns the Unpin method value to the caller — the
+// release-func pattern; the pin deliberately outlives the function.
+func goodHandoff(r *res) (func(), error) {
+	if err := r.Pin(); err != nil {
+		return nil, err
+	}
+	return r.Unpin, nil
+}
+
+// goodDeferLit releases through a deferred function literal.
+func goodDeferLit(r *res) error {
+	if err := r.Pin(); err != nil {
+		return err
+	}
+	defer func() {
+		r.Unpin()
+	}()
+	return nil
+}
+
+// wrap forwards the protocol: its Pin/Unpin methods are exempt.
+type wrap struct{ r *res }
+
+func (w *wrap) Pin() error { return w.r.Pin() }
+func (w *wrap) Unpin()     { w.r.Unpin() }

@@ -1,0 +1,89 @@
+// Package typeutil holds the small set of go/types helpers shared by
+// the rpqlint analyzers.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Named returns the named type behind t, unwrapping one level of
+// pointer and any alias, or nil.
+func Named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	n := Named(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// TakesContext reports whether sig has a context.Context parameter.
+func TakesContext(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if IsContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeSignature returns the static signature of call's callee, or nil
+// (e.g. for conversions and builtins).
+func CalleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// MethodCall reports the method name and receiver expression of call
+// when it is a selector-based method call (x.M(...)); ok is false for
+// plain function calls, conversions, and selector calls of package
+// functions.
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	// A selection entry exists only for field/method selections, not
+	// for qualified identifiers (pkg.Func).
+	if _, isSelection := info.Selections[sel]; !isSelection {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// HasMethod reports whether t's method set (value or pointer) contains
+// a method with the given name.
+func HasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

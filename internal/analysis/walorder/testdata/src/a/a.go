@@ -1,0 +1,84 @@
+// Fixture for the walorder analyzer: in functions that publish a new
+// engine, WAL writes must be ordered before the atomic Store.
+package a
+
+import "sync/atomic"
+
+type Engine struct{ v int }
+
+type Log struct{ records int }
+
+func (l *Log) Append(typ byte, payload []byte) error { l.records++; return nil }
+func (l *Log) Sync() error                           { return nil }
+func (l *Log) Rewrite(keep []byte) error             { return nil }
+
+// dur is the durable-state wrapper holding the log, mirroring the real
+// engine's durableState.
+type dur struct{ log *Log }
+
+func (d *dur) append(typ byte, payload []byte) error { return d.log.Append(typ, payload) }
+
+type db struct {
+	engine atomic.Pointer[Engine]
+	dur    *dur
+	log    *Log
+}
+
+// goodOrder appends before publishing.
+func goodOrder(d *db, ne *Engine, payload []byte) error {
+	if err := d.log.Append(1, payload); err != nil {
+		return err
+	}
+	d.engine.Store(ne)
+	return nil
+}
+
+// goodWrapper appends through the wrapper before publishing.
+func goodWrapper(d *db, ne *Engine, payload []byte) error {
+	if err := d.dur.append(1, payload); err != nil {
+		return err
+	}
+	d.engine.Store(ne)
+	return nil
+}
+
+// goodLogOnly never publishes, so ordering is not its concern.
+func goodLogOnly(d *db, payload []byte) error {
+	return d.log.Append(2, payload)
+}
+
+// badOrder publishes the snapshot before its log record exists.
+func badOrder(d *db, ne *Engine, payload []byte) error {
+	d.engine.Store(ne)
+	return d.log.Append(1, payload) // want "WAL write after engine publish"
+}
+
+// badWrapper publishes before appending through the wrapper.
+func badWrapper(d *db, ne *Engine, payload []byte) error {
+	d.engine.Store(ne)
+	if err := d.dur.append(1, payload); err != nil { // want "WAL write after engine publish"
+		return err
+	}
+	return nil
+}
+
+// badConditional publishes on one branch only; the append is still
+// reachable with the publish already done.
+func badConditional(d *db, ne *Engine, payload []byte, fast bool) error {
+	if fast {
+		d.engine.Store(ne)
+	}
+	if err := d.log.Append(1, payload); err != nil { // want "WAL write after engine publish"
+		return err
+	}
+	if !fast {
+		d.engine.Store(ne)
+	}
+	return nil
+}
+
+// badSync syncing after publish is as wrong as appending.
+func badSync(d *db, ne *Engine) error {
+	d.engine.Store(ne)
+	return d.log.Sync() // want "WAL write after engine publish"
+}

@@ -1,0 +1,199 @@
+// Package walorder defines an analyzer enforcing the durability
+// protocol's write ordering: within a function that both appends to the
+// write-ahead log and publishes a new engine snapshot, every WAL write
+// (Append/Sync/Rewrite on a wal.Log, directly or through a wrapper
+// holding one) must happen before the atomic engine-pointer Store. A
+// mutation published before it is logged would be visible to readers —
+// and then lost on crash replay.
+//
+// The check is flow-sensitive over the function body: it tracks, per
+// control-flow path, whether the engine pointer has been stored, and
+// reports any WAL write reachable with the publish already done. Only
+// functions that perform a publish are examined, so pure logging
+// helpers (checkpoint, rewrite) are untouched.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctlflow"
+	"repro/internal/analysis/typeutil"
+)
+
+// Analyzer flags WAL writes sequenced after the engine publish.
+var Analyzer = &analysis.Analyzer{
+	Name: "walorder",
+	Doc: "check that WAL appends precede the atomic engine publish\n\n" +
+		"In any function that stores a new engine into the atomic pointer,\n" +
+		"all wal.Log Append/Sync/Rewrite calls must be ordered before the\n" +
+		"Store: a snapshot published before its log record can be observed\n" +
+		"by readers and lost on crash recovery.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// wstate tracks whether the engine pointer has been published on a path.
+type wstate struct {
+	published bool
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	if !containsPublish(pass.TypesInfo, body) {
+		return
+	}
+	info := pass.TypesInfo
+	reported := map[*ast.CallExpr]bool{}
+
+	check := func(calls []*ast.CallExpr, in []wstate) []wstate {
+		for _, call := range calls {
+			switch {
+			case isPublish(info, call):
+				for i := range in {
+					in[i].published = true
+				}
+			case isWALWrite(info, call):
+				for _, s := range in {
+					if s.published && !reported[call] {
+						reported[call] = true
+						pass.Reportf(call.Pos(),
+							"WAL write after engine publish: the snapshot is visible before its log record; append to the WAL before the atomic Store")
+						break
+					}
+				}
+			}
+		}
+		return in
+	}
+
+	ctlflow.Walk(body, wstate{}, ctlflow.Funcs[wstate]{
+		Stmt: func(stmt ast.Stmt, in []wstate) []wstate {
+			return check(orderedCalls(stmt), in)
+		},
+		Return: func(_ token.Pos, ret *ast.ReturnStmt, in []wstate) {
+			// Return expressions can carry the write itself
+			// (`return d.log.Append(...)`); the walker terminates the
+			// path before the Stmt hook, so inspect them here.
+			if ret != nil {
+				check(orderedCalls(ret), in)
+			}
+		},
+	})
+}
+
+// containsPublish reports whether body performs an engine-pointer Store
+// outside nested function literals.
+func containsPublish(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPublish(info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// orderedCalls returns the method calls of one atomic statement in
+// source order, skipping nested function literals.
+func orderedCalls(stmt ast.Stmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, call)
+		}
+		return true
+	})
+	// ast.Inspect is pre-order over a single statement, which already
+	// matches source order for the call sites we care about.
+	return out
+}
+
+// isPublish reports whether call is Store on an atomic.Pointer[Engine].
+func isPublish(info *types.Info, call *ast.CallExpr) bool {
+	recv, name, ok := typeutil.MethodCall(info, call)
+	if !ok || name != "Store" {
+		return false
+	}
+	n := typeutil.Named(info.TypeOf(recv))
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync/atomic" || n.Obj().Name() != "Pointer" {
+		return false
+	}
+	args := n.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return false
+	}
+	elem := typeutil.Named(args.At(0))
+	return elem != nil && elem.Obj().Name() == "Engine"
+}
+
+// walWriteMethods are the wal.Log mutators (and the lowercase wrapper
+// spelling used by durable-state helpers).
+func isWALWriteMethod(name string) bool {
+	switch name {
+	case "Append", "Sync", "Rewrite", "append":
+		return true
+	}
+	return false
+}
+
+// isWALWrite reports whether call writes the WAL: a mutator method on a
+// named type Log, or on a wrapper struct holding a *Log field.
+func isWALWrite(info *types.Info, call *ast.CallExpr) bool {
+	recv, name, ok := typeutil.MethodCall(info, call)
+	if !ok || !isWALWriteMethod(name) {
+		return false
+	}
+	return isWALCarrier(info.TypeOf(recv), 0)
+}
+
+// isWALCarrier reports whether t is (a pointer to) the named type Log,
+// or a struct holding such a field one level down.
+func isWALCarrier(t types.Type, depth int) bool {
+	n := typeutil.Named(t)
+	if n == nil {
+		return false
+	}
+	if n.Obj().Name() == "Log" {
+		return true
+	}
+	if depth > 0 {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isWALCarrier(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walorder"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), walorder.Analyzer, "a")
+}

@@ -199,7 +199,9 @@ func NewEngineFromStorage(ix pathindex.Storage, opts Options) (*Engine, error) {
 	} else {
 		hist = histogram.BuildExact(ix)
 	}
-	return &Engine{g: ix.Graph(), ix: ix, hist: hist, opts: opts}, nil
+	// epoch 0 is the defined value for a never-updated engine (see
+	// Epoch); spelled out for the epochkey invariant check.
+	return &Engine{g: ix.Graph(), ix: ix, hist: hist, opts: opts, epoch: 0}, nil
 }
 
 // Graph returns the engine's graph.

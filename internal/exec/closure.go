@@ -231,7 +231,9 @@ func (c *StreamClosure) setContext(ctx context.Context) { c.ctx = ctx }
 // NewStreamClosure returns a streaming closure of body applied to input
 // over a graph of numNodes nodes.
 func NewStreamClosure(input, body Operator, numNodes int) *StreamClosure {
-	return &StreamClosure{input: input, body: body, visited: make([]uint32, numNodes)}
+	// epoch 0 means "no BFS has stamped visited yet"; spelled out for the
+	// epochkey invariant check.
+	return &StreamClosure{input: input, body: body, visited: make([]uint32, numNodes), epoch: 0}
 }
 
 func (c *StreamClosure) children() []Operator { return []Operator{c.input, c.body} }
