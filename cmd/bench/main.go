@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open|star|update|compress]
+//	bench [-experiment all|fig2|datalog|indexcost|datasets|ablation|reach|execprofile|serve|open|star|update|compress|shard]
 //	      [-scale 1.0] [-seed 1] [-runs 3] [-buckets 64]
 //	      [-clients 8] [-servedur 2s] [-serveout BENCH_serve.json]
 //	      [-openout BENCH_open.json] [-starout BENCH_star.json]
 //	      [-updateout BENCH_update.json] [-compressout BENCH_compress.json]
+//	      [-shardout BENCH_shard.json]
 //
 // Full scale (-scale 1.0) matches the published Advogato dimensions and
 // takes a few minutes, dominated by the k=3 index build; -scale 0.25
@@ -40,6 +41,13 @@
 // latency over the overlay, and compaction cost — for several batch
 // sizes, and writes the JSON report to -updateout.
 //
+// The shard experiment (also selected implicitly by passing -shardout
+// with -experiment all) measures the sharded scatter-gather stack —
+// per-shard build cost, hash-partition balance, query latency through
+// the scatter/gather operators, and answer identity with the unsharded
+// oracle at shard counts 1, 2, 4, 8 — and writes the JSON report to
+// -shardout.
+//
 // The compress experiment (also selected implicitly by passing
 // -compressout with -experiment all) measures the block-compressed
 // on-disk format v3 against the uncompressed v2 — file sizes, cold
@@ -58,7 +66,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile, serve, open, star, update, compress")
+	experiment := flag.String("experiment", "all", "experiment to run: all, fig2, datalog, indexcost, datasets, ablation, reach, execprofile, serve, open, star, update, compress, shard")
 	scale := flag.Float64("scale", 1.0, "Advogato scale factor in (0,1]")
 	seed := flag.Int64("seed", 1, "generator seed")
 	runs := flag.Int("runs", 3, "samples per measurement (median reported)")
@@ -70,6 +78,7 @@ func main() {
 	starout := flag.String("starout", "BENCH_star.json", "star: JSON report output path")
 	updateout := flag.String("updateout", "BENCH_update.json", "update: JSON report output path")
 	compressout := flag.String("compressout", "BENCH_compress.json", "compress: JSON report output path")
+	shardout := flag.String("shardout", "BENCH_shard.json", "shard: JSON report output path")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -95,6 +104,7 @@ func main() {
 		wantStar := flagPassed("starout")
 		wantUpdate := flagPassed("updateout")
 		wantCompress := flagPassed("compressout")
+		wantShard := flagPassed("shardout")
 		if wantOpen {
 			die(runOpen(cfg, *openout))
 		}
@@ -110,7 +120,10 @@ func main() {
 		if wantCompress {
 			die(runCompress(cfg, *compressout))
 		}
-		if wantOpen || wantServe || wantStar || wantUpdate || wantCompress {
+		if wantShard {
+			die(runShard(cfg, *shardout))
+		}
+		if wantOpen || wantServe || wantStar || wantUpdate || wantCompress || wantShard {
 			return
 		}
 	}
@@ -125,6 +138,8 @@ func main() {
 		die(runUpdate(cfg, *updateout))
 	case "compress":
 		die(runCompress(cfg, *compressout))
+	case "shard":
+		die(runShard(cfg, *shardout))
 	default:
 		die(run(what, cfg))
 	}
@@ -132,6 +147,18 @@ func main() {
 
 func runCompress(cfg bench.Config, out string) error {
 	_, table, err := bench.RunCompress(cfg, out)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.String())
+	if out != "" {
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
+}
+
+func runShard(cfg bench.Config, out string) error {
+	_, table, err := bench.RunShard(cfg, out)
 	if err != nil {
 		return err
 	}

@@ -8,7 +8,7 @@
 //	rpq -graph FILE [-k 2] [-strategy minSupport] [-buckets 64] \
 //	    (-query RPQ | -explain RPQ | -stats)
 //
-//	rpq build -graph FILE -index FILE [-k 2] [-format v3]
+//	rpq build -graph FILE -index FILE [-k 2] [-format v3] [-shards N]
 //	rpq serve -graph FILE -index FILE [-strategy minSupport] [-limit 20] [-http ADDR] [-durable DIR]
 //	rpq wal -dir DIR [-v]
 //
@@ -17,6 +17,10 @@
 // format v3 (or uncompressed mmap-able v2 with -format v2); `serve`
 // auto-detects the format — mapping v2 zero-copy, decoding v3 block by
 // block on scan — and answers queries read from stdin, one per line.
+// With -shards N, `build` partitions the index by source node and
+// writes a directory of per-shard v3 files plus a manifest; `serve`
+// auto-detects that layout too and scatters every query across the
+// shards, gathering through a sorted merge.
 // A malformed query line is reported on stderr and serving continues;
 // non-zero exit is reserved for setup failures (bad flags, unreadable
 // graph or index) and input read errors.
@@ -110,9 +114,10 @@ func main() {
 func runBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "edge-list file (required)")
-	indexPath := fs.String("index", "", "output index file (required)")
+	indexPath := fs.String("index", "", "output index file (required); a directory when -shards > 1")
 	k := fs.Int("k", 2, "path-index locality parameter")
 	format := fs.String("format", "v3", "index file format: v3 (block-compressed) or v2 (uncompressed mmap)")
+	shards := fs.Int("shards", 1, "partition the index by source node into this many shards (writes a directory of per-shard v3 files + manifest)")
 	fs.Parse(args)
 	if *graphPath == "" || *indexPath == "" {
 		return fmt.Errorf("-graph and -index are required")
@@ -120,33 +125,74 @@ func runBuild(args []string) error {
 	if *format != "v2" && *format != "v3" {
 		return fmt.Errorf("unknown -format %q (want v2 or v3)", *format)
 	}
+	if *shards > 1 && *format != "v3" {
+		return fmt.Errorf("-shards layouts are always block-compressed v3; drop -format %s", *format)
+	}
 	g, err := pathdb.LoadGraph(*graphPath)
 	if err != nil {
 		return err
 	}
-	db, err := pathdb.Build(g, pathdb.Options{K: *k})
+	db, err := pathdb.Build(g, pathdb.Options{K: *k, Shards: *shards})
 	if err != nil {
 		return err
 	}
 	t0 := time.Now()
-	save := db.SaveIndexV3
-	if *format == "v2" {
-		save = db.SaveIndexV2
-	}
-	if err := save(*indexPath); err != nil {
-		return err
+	if *shards > 1 {
+		if err := db.SaveShardedIndex(*indexPath); err != nil {
+			return err
+		}
+	} else {
+		save := db.SaveIndexV3
+		if *format == "v2" {
+			save = db.SaveIndexV2
+		}
+		if err := save(*indexPath); err != nil {
+			return err
+		}
 	}
 	st := db.IndexStats()
-	fi, err := os.Stat(*indexPath)
+	fmt.Printf("built k=%d index: %d entries over %d label paths in %.2f ms\n",
+		db.K(), st.Entries, st.LabelPaths, st.BuildMillis)
+	size, err := pathSize(*indexPath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("built k=%d index: %d entries over %d label paths in %.2f ms\n",
-		db.K(), st.Entries, st.LabelPaths, st.BuildMillis)
-	fmt.Printf("wrote %s: %d bytes (format %s, %.2fx vs raw pairs) in %.2f ms\n",
-		*indexPath, fi.Size(), *format, float64(8*st.Entries)/float64(fi.Size()),
-		float64(time.Since(t0).Microseconds())/1000.0)
+	if *shards > 1 {
+		ss := db.ShardStats()
+		fmt.Printf("wrote %s: %d bytes across %d %s-partitioned shards (%.2fx vs raw pairs) in %.2f ms\n",
+			*indexPath, size, ss.Shards, ss.Partitioner, float64(8*st.Entries)/float64(size),
+			float64(time.Since(t0).Microseconds())/1000.0)
+	} else {
+		fmt.Printf("wrote %s: %d bytes (format %s, %.2fx vs raw pairs) in %.2f ms\n",
+			*indexPath, size, *format, float64(8*st.Entries)/float64(size),
+			float64(time.Since(t0).Microseconds())/1000.0)
+	}
 	return nil
+}
+
+// pathSize is the byte size of a file, or the summed size of a sharded
+// layout directory's entries.
+func pathSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if !fi.IsDir() {
+		return fi.Size(), nil
+	}
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, ent := range ents {
+		info, err := ent.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
 }
 
 // runServe implements `rpq serve`: memory-map a prebuilt index and
@@ -183,6 +229,10 @@ func runServe(args []string) error {
 	st := db.IndexStats()
 	fmt.Printf("opened %s in %.2f ms: k=%d, %d entries over %d label paths (no rebuild)\n",
 		*indexPath, float64(time.Since(t0).Microseconds())/1000.0, db.K(), st.Entries, st.LabelPaths)
+	if ss := db.ShardStats(); ss.Shards > 0 {
+		fmt.Printf("sharded: %d %s-partitioned shards; queries scatter and gather through a sorted merge\n",
+			ss.Shards, ss.Partitioner)
+	}
 	if *durableDir != "" {
 		ds := db.DurabilityStats()
 		fmt.Printf("recovered %s: %d batches replayed (%d via spill shortcuts), resuming at seq %d epoch %d\n",

@@ -120,3 +120,45 @@ func TestServeLinesHugeLine(t *testing.T) {
 		t.Errorf("query after huge line missing from output:\n%s", out.String())
 	}
 }
+
+// `rpq build -shards N` writes the sharded directory layout and the
+// serve path auto-detects it, answering exactly like an unsharded
+// build.
+func TestRunBuildShardedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "graph.txt")
+	lines := "ada knows zoe\nzoe knows bob\nbob worksFor ada\nzoe worksFor ada\n"
+	if err := os.WriteFile(graphPath, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	indexDir := filepath.Join(dir, "graph.pixd")
+	if err := runBuild([]string{"-graph", graphPath, "-index", indexDir, "-k", "2", "-shards", "3"}); err != nil {
+		t.Fatalf("runBuild -shards: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(indexDir, "SHARDS.json")); err != nil {
+		t.Fatalf("sharded build wrote no manifest: %v", err)
+	}
+
+	db, err := pathdb.Open(graphPath, indexDir)
+	if err != nil {
+		t.Fatalf("Open of sharded layout: %v", err)
+	}
+	defer db.Close()
+	if ss := db.ShardStats(); ss.Shards != 3 {
+		t.Fatalf("opened layout has %d shards, want 3", ss.Shards)
+	}
+	srv := db.Serve(pathdb.ServeOptions{})
+	var out, errw strings.Builder
+	in := strings.NewReader("knows/worksFor\n")
+	if err := serveLines(srv, pathdb.StrategyMinSupport, 0, in, &out, &errw); err != nil {
+		t.Fatalf("serveLines over sharded index: %v", err)
+	}
+	if !strings.Contains(out.String(), "ada -> ada") {
+		t.Errorf("sharded serve answer missing pair:\n%s", out.String())
+	}
+
+	// -shards with the mmap format is refused (shards are always v3).
+	if err := runBuild([]string{"-graph", graphPath, "-index", indexDir, "-shards", "2", "-format", "v2"}); err == nil {
+		t.Error("runBuild accepted -shards with -format v2")
+	}
+}

@@ -155,6 +155,7 @@ func (o Options) coreOptions() core.Options {
 		MaxPathLength:    o.MaxPathLength,
 		MaxTotalSteps:    o.MaxTotalSteps,
 		MaxIndexEntries:  o.MaxIndexEntries,
+		Shards:           o.Shards,
 	}
 }
 
@@ -187,7 +188,15 @@ func OpenDurable(graphPath, indexPath string, opts Options, d DurabilityOptions)
 		if err != nil {
 			return nil, nil, fmt.Errorf("pathdb: loading graph: %w", err)
 		}
-		ix, err := pathindex.OpenStorage(indexPath, g)
+		var ix pathindex.Storage
+		if pathindex.IsShardedPath(indexPath) {
+			// Sharded base layout: WAL batches route to the owning shards
+			// during replay; spills and checkpoints stay Levels-only, so a
+			// sharded lineage recovers purely by re-applying logged batches.
+			ix, err = pathindex.OpenSharded(indexPath, g)
+		} else {
+			ix, err = pathindex.OpenStorage(indexPath, g)
+		}
 		if err != nil {
 			return nil, nil, err
 		}

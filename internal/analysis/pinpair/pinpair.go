@@ -272,13 +272,26 @@ func isUnpinCall(info *types.Info, call *ast.CallExpr, recv string) bool {
 	return ok && name == "Unpin" && types.ExprString(r) == recv
 }
 
-// returnsUnpinValue reports whether a return hands the recv.Unpin
-// method value (uncalled) back to the caller — the release-func pattern
-// of core.Engine.pin.
+// returnsUnpinValue reports whether a return hands the release back to
+// the caller: the recv.Unpin method value (uncalled) — the release-func
+// pattern of core.Engine.pin — or a function literal whose body calls
+// recv.Unpin(), the shape of a release closure unpinning a loop of
+// shards.
 func returnsUnpinValue(ret *ast.ReturnStmt, recv string) bool {
 	found := false
 	for _, res := range ret.Results {
 		ast.Inspect(res, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				// The literal's body runs when the caller releases, so a
+				// call inside it is a hand-off, not an immediate release.
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if sel, ok := m.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" && types.ExprString(sel.X) == recv {
+						found = true
+					}
+					return !found
+				})
+				return false
+			}
 			if call, ok := n.(*ast.CallExpr); ok {
 				// A called Unpin inside a result expression is not a
 				// hand-off; skip the call's Fun position.

@@ -100,3 +100,45 @@ type wrap struct{ r *res }
 
 func (w *wrap) Pin() error { return w.r.Pin() }
 func (w *wrap) Unpin()     { w.r.Unpin() }
+
+// leakShardLoop pins every shard of a partitioned storage but falls
+// out with the loop's pins held.
+func leakShardLoop(shards []*res) error {
+	for _, s := range shards {
+		if err := s.Pin(); err != nil {
+			return err
+		}
+	}
+	return nil // want "return while s is pinned"
+}
+
+// goodShardLoopDefer releases each shard through a defer registered as
+// it is pinned.
+func goodShardLoopDefer(shards []*res) error {
+	for _, s := range shards {
+		if err := s.Pin(); err != nil {
+			return err
+		}
+		defer s.Unpin()
+	}
+	return nil
+}
+
+// goodShardLoopHandoff pins the shards and returns a release closure —
+// the sharded variant of the release-func pattern; the closure's body
+// calls Unpin, so the pins deliberately outlive the function.
+func goodShardLoopHandoff(shards []*res) (func(), error) {
+	for i, s := range shards {
+		if err := s.Pin(); err != nil {
+			for _, q := range shards[:i] {
+				q.Unpin()
+			}
+			return nil, err
+		}
+	}
+	return func() {
+		for _, s := range shards {
+			s.Unpin()
+		}
+	}, nil
+}

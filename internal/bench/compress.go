@@ -61,11 +61,12 @@ type CompressPoint struct {
 
 // CompressReport is serialized to BENCH_compress.json by cmd/bench.
 type CompressReport struct {
-	GoVersion string          `json:"go_version"`
-	CPUs      int             `json:"cpus"`
-	Runs      int             `json:"runs"`
-	Points    []CompressPoint `json:"points"`
-	Note      string          `json:"note"`
+	GoVersion  string          `json:"go_version"`
+	CPUs       int             `json:"cpus"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Runs       int             `json:"runs"`
+	Points     []CompressPoint `json:"points"`
+	Note       string          `json:"note"`
 }
 
 // compressWorkload is the Advogato workload minus closure classes (the
@@ -107,9 +108,10 @@ func RunCompress(cfg Config, out string) (*CompressReport, *Table, error) {
 	defer os.RemoveAll(dir)
 
 	report := &CompressReport{
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
-		Runs:      cfg.Runs,
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Runs:       cfg.Runs,
 		Note: "ratio_vs_v2 is the on-disk size reduction of delta+varint block compression; " +
 			"scan_penalty is full-workload latency over decode-on-scan v3 relative to zero-copy v2 mmap",
 	}

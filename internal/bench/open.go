@@ -47,11 +47,12 @@ type OpenPoint struct {
 
 // OpenReport is serialized to BENCH_open.json by cmd/bench.
 type OpenReport struct {
-	GoVersion string      `json:"go_version"`
-	CPUs      int         `json:"cpus"`
-	Runs      int         `json:"runs"`
-	Points    []OpenPoint `json:"points"`
-	Note      string      `json:"note"`
+	GoVersion  string      `json:"go_version"`
+	CPUs       int         `json:"cpus"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Runs       int         `json:"runs"`
+	Points     []OpenPoint `json:"points"`
+	Note       string      `json:"note"`
 }
 
 // RunOpen measures cold-open costs at several Advogato scales and writes
@@ -66,10 +67,11 @@ func RunOpen(cfg Config, out string) (*OpenReport, error) {
 	defer os.RemoveAll(dir)
 
 	report := &OpenReport{
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
-		Runs:      cfg.Runs,
-		Note:      "open_mapped_ms is directory-only work and should stay flat as entries grow; rebuild_ms and load_v1_ms scale with the payload",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Runs:       cfg.Runs,
+		Note:       "open_mapped_ms is directory-only work and should stay flat as entries grow; rebuild_ms and load_v1_ms scale with the payload",
 	}
 	for _, frac := range []float64{0.25, 0.5, 1.0} {
 		scale := cfg.Scale * frac

@@ -66,11 +66,12 @@ type StarPoint struct {
 
 // StarReport is serialized to BENCH_star.json by cmd/bench.
 type StarReport struct {
-	GoVersion string      `json:"go_version"`
-	CPUs      int         `json:"cpus"`
-	Runs      int         `json:"runs"`
-	Points    []StarPoint `json:"points"`
-	Note      string      `json:"note"`
+	GoVersion  string      `json:"go_version"`
+	CPUs       int         `json:"cpus"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Runs       int         `json:"runs"`
+	Points     []StarPoint `json:"points"`
+	Note       string      `json:"note"`
 }
 
 // chainGraph builds the n-node a-labeled chain n0 -a-> n1 -a-> … — the
@@ -198,9 +199,10 @@ func measureStar(c Config, name string, g *graph.Graph, def, stream, fix, expand
 func RunStar(cfg Config, out string) (*StarReport, *Table, error) {
 	cfg = cfg.normalize()
 	report := &StarReport{
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
-		Runs:      cfg.Runs,
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Runs:       cfg.Runs,
 		Note: "default_ms is the engine's closure routing (reach_routed marks the reachability fast path); " +
 			"expand_ms is the legacy StarBound expansion (-1 = fails); the chain a* row is the headline regression",
 	}

@@ -89,16 +89,17 @@ type WALSection struct {
 
 // UpdateReport is serialized to BENCH_update.json by cmd/bench.
 type UpdateReport struct {
-	GoVersion string        `json:"go_version"`
-	CPUs      int           `json:"cpus"`
-	Runs      int           `json:"runs"`
-	K         int           `json:"k"`
-	Scale     float64       `json:"scale"`
-	Nodes     int           `json:"nodes"`
-	Edges     int           `json:"edges"`
-	Points    []UpdatePoint `json:"points"`
-	WAL       *WALSection   `json:"wal,omitempty"`
-	Note      string        `json:"note"`
+	GoVersion  string        `json:"go_version"`
+	CPUs       int           `json:"cpus"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Runs       int           `json:"runs"`
+	K          int           `json:"k"`
+	Scale      float64       `json:"scale"`
+	Nodes      int           `json:"nodes"`
+	Edges      int           `json:"edges"`
+	Points     []UpdatePoint `json:"points"`
+	WAL        *WALSection   `json:"wal,omitempty"`
+	Note       string        `json:"note"`
 }
 
 // updateQueries is the latency/correctness workload: the composition
@@ -180,13 +181,14 @@ func RunUpdate(cfg Config, out string) (*UpdateReport, *Table, error) {
 	k := cfg.Ks[len(cfg.Ks)-1]
 	full := cfg.advogato()
 	report := &UpdateReport{
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
-		Runs:      cfg.Runs,
-		K:         k,
-		Scale:     cfg.Scale,
-		Nodes:     full.NumNodes(),
-		Edges:     full.NumEdges(),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Runs:       cfg.Runs,
+		K:          k,
+		Scale:      cfg.Scale,
+		Nodes:      full.NumNodes(),
+		Edges:      full.NumEdges(),
 		Note: "apply_ms is ApplyBatch (delta build + overlay + histogram); rebuild_ms is a from-scratch " +
 			"engine build over the full graph; query_*_ms is the summed Q1-Q8 workload latency; " +
 			"oracle_match compares overlay and compacted answers to the rebuild",

@@ -103,6 +103,12 @@ type Options struct {
 	// NoDerivedInverses recomputes inverse path relations instead of
 	// deriving them (ablation).
 	NoDerivedInverses bool
+	// Shards, when > 1, partitions the index by source node into that
+	// many in-process shards (hash partitioning): NewEngine builds a
+	// sharded index, plans wrap every disjunct in a scatter node, and the
+	// executor evaluates shards concurrently and gathers through a sorted
+	// merge. 0 or 1 keeps the single-index layout.
+	Shards int
 }
 
 // Engine evaluates RPQs over one indexed graph. The graph, index, and
@@ -156,10 +162,18 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	if opts.HistogramBuckets < 0 {
 		return nil, fmt.Errorf("core: Options.HistogramBuckets must be non-negative, got %d", opts.HistogramBuckets)
 	}
-	ix, err := pathindex.Build(g, opts.K, pathindex.BuildOptions{
+	bopts := pathindex.BuildOptions{
 		MaxEntries:        opts.MaxIndexEntries,
 		NoDerivedInverses: opts.NoDerivedInverses,
-	})
+	}
+	if opts.Shards > 1 {
+		ix, err := pathindex.BuildSharded(g, opts.K, bopts, pathindex.NewHashPartitioner(opts.Shards))
+		if err != nil {
+			return nil, fmt.Errorf("core: building sharded path index: %w", err)
+		}
+		return NewEngineFromStorage(ix, opts)
+	}
+	ix, err := pathindex.Build(g, opts.K, bopts)
 	if err != nil {
 		return nil, fmt.Errorf("core: building path index: %w", err)
 	}
@@ -435,6 +449,7 @@ func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st S
 		HashOnly:       e.opts.HashOnly,
 		NoReachIndex:   e.opts.NoReachIndex,
 		StreamClosures: !e.opts.NoStreamClosures,
+		Shards:         e.numShards(),
 	}
 	pln, err := planner.PlanQuery(disjuncts, closures, hasEpsilon, strategy)
 	if err != nil {
@@ -449,10 +464,22 @@ func (e *Engine) compileNormal(norm rewrite.Normal, strategy plan.Strategy, st S
 	return &Prepared{engine: e, plan: pln, stats: st, strategy: strategy}, nil
 }
 
+// numShards returns the engine storage's shard count, 0 for unsharded
+// storage. The planner's scatter wrapping keys off it, so plans always
+// match the storage they will execute over.
+func (e *Engine) numShards() int {
+	if sh, ok := e.ix.(interface{ NumShards() int }); ok {
+		return sh.NumShards()
+	}
+	return 0
+}
+
 // countStreamed counts the Closure nodes marked Streamed in a subtree —
 // the Stats evidence of which closure mode the planner chose.
 func countStreamed(n plan.Node) int {
 	switch v := n.(type) {
+	case *plan.Scatter:
+		return countStreamed(v.Child)
 	case *plan.Join:
 		return countStreamed(v.Left) + countStreamed(v.Right)
 	case *plan.Closure:
@@ -518,6 +545,10 @@ func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building operators: %w", err)
 	}
+	// Registered after the unpin defer, so it runs first: per-shard
+	// gather goroutines are stopped and awaited before the storage pin is
+	// released, and before CollectStats reads their operators' counters.
+	defer exec.Quiesce(op)
 	pairs, runErr := exec.RunContext(ctx, op)
 	if runErr != nil {
 		return nil, runErr
@@ -525,6 +556,7 @@ func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 	st := p.stats
 	st.ExecTime = time.Since(t0)
 	st.ResultPairs = len(pairs)
+	exec.Quiesce(op)
 	es := exec.CollectStats(op)
 	st.OperatorRows = es.RowsByOperator
 	st.OperatorBatches = es.BatchesByOperator
@@ -571,6 +603,9 @@ func (p *Prepared) StreamContext(ctx context.Context, fn func(batch []pathindex.
 	if err != nil {
 		return st, fmt.Errorf("core: building operators: %w", err)
 	}
+	// See ExecuteContext: stops gather goroutines before unpin (LIFO) and
+	// before the stats read below.
+	defer exec.Quiesce(op)
 	buf := make([]pathindex.Pair, exec.DefaultBatchSize)
 	total := 0
 	var runErr error
@@ -592,6 +627,7 @@ func (p *Prepared) StreamContext(ctx context.Context, fn func(batch []pathindex.
 	}
 	st.ExecTime = time.Since(t0)
 	st.ResultPairs = total
+	exec.Quiesce(op)
 	es := exec.CollectStats(op)
 	st.OperatorRows = es.RowsByOperator
 	st.OperatorBatches = es.BatchesByOperator

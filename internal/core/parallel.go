@@ -31,6 +31,11 @@ func (p *Prepared) ExecuteParallelContext(ctx context.Context, workers int) (*Re
 		ctx = context.Background()
 	}
 	if workers < 2 || len(p.plan.Disjuncts) < 2 {
+		// Not a sequential fallback when the engine is sharded: a
+		// single-disjunct plan over sharded storage carries a Scatter
+		// node, so ExecuteContext still fans out across shards (a Gather
+		// runs one goroutine per shard) — scatter parallelism does not
+		// require multiple disjuncts.
 		return p.ExecuteContext(ctx)
 	}
 	unpin, err := p.engine.pin()
@@ -79,6 +84,10 @@ func (p *Prepared) ExecuteParallelContext(ctx context.Context, workers int) (*Re
 					copy(batch, buf[:n])
 					results <- chunk{batch: batch}
 				}
+				// A cancelled tree can stop mid-stream with per-shard
+				// gather goroutines still running; stop and await them
+				// before the shared pin is released.
+				exec.Quiesce(op)
 			}
 		}()
 	}

@@ -57,6 +57,16 @@ func (e *Engine) ApplyBatchTagged(edges []graph.LabeledEdge, seq uint64) (*Engin
 	if err != nil {
 		return nil, fmt.Errorf("core: building index delta: %w", err)
 	}
+	// Sharded storage routes the delta itself: the one globally built
+	// delta is split by source shard and each shard gains an overlay, so
+	// one epoch still covers all shards.
+	if ss, ok := e.ix.(*pathindex.ShardedStorage); ok {
+		next, err := ss.ApplyDelta(delta)
+		if err != nil {
+			return nil, fmt.Errorf("core: applying sharded delta: %w", err)
+		}
+		return e.successor(next)
+	}
 	ls, err := pathindex.PushTier(e.ix, delta, seq, seq)
 	if err != nil {
 		return nil, fmt.Errorf("core: pushing index tier: %w", err)
@@ -226,6 +236,21 @@ func (e *Engine) FinishCompact(j *CompactJob) (*Engine, error) {
 // serving; the fold reads the base under a pin, so it is safe against a
 // concurrent Close.
 func (e *Engine) Compact() (*Engine, error) {
+	if ss, ok := e.ix.(*pathindex.ShardedStorage); ok {
+		if ss.DeltaEntries() == 0 {
+			return e, nil
+		}
+		unpin, err := e.pin()
+		if err != nil {
+			return nil, err
+		}
+		defer unpin()
+		next, err := ss.Compact()
+		if err != nil {
+			return nil, fmt.Errorf("core: compacting sharded storage: %w", err)
+		}
+		return e.successor(next)
+	}
 	if ov, ok := e.ix.(*pathindex.Overlay); ok {
 		unpin, err := e.pin()
 		if err != nil {

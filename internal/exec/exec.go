@@ -152,10 +152,16 @@ func Build(p *plan.Plan, ix pathindex.Storage, opts BuildOptions) (Operator, err
 	}
 	// A lone streamed closure is already duplicate-free; wrapping it in
 	// the deduplicating union would re-materialize the O(output) seen-set
-	// the streaming mode exists to avoid.
+	// the streaming mode exists to avoid. The same holds for a gather of
+	// per-shard streamed closures: each shard's stream is distinct and
+	// shard outputs are source-disjoint, and Gather dedups its own merge
+	// frontier.
 	if len(ops) == 1 {
 		if sc, ok := ops[0].(*StreamClosure); ok {
 			return sc, nil
+		}
+		if g, ok := ops[0].(*Gather); ok && g.allStreamClosures() {
+			return g, nil
 		}
 	}
 	return WithContext(NewUnionDistinctSized(ops, opts.batchSize()), opts.Ctx), nil
@@ -163,6 +169,8 @@ func Build(p *plan.Plan, ix pathindex.Storage, opts BuildOptions) (Operator, err
 
 func buildNode(n plan.Node, ix pathindex.Storage, opts BuildOptions) (Operator, error) {
 	switch v := n.(type) {
+	case *plan.Scatter:
+		return buildScatter(v, ix, opts)
 	case *plan.Scan:
 		if len(v.Segment) > ix.K() {
 			return nil, fmt.Errorf("exec: segment %v longer than index k=%d", v.Segment, ix.K())
@@ -305,6 +313,21 @@ type runPairProvider interface {
 // the storage carries a non-empty delta run for the (possibly inverted)
 // physical path.
 func newSegmentScan(ix pathindex.Storage, segment pathindex.Path, inverted bool) Operator {
+	if sh, ok := ix.(shardedStorage); ok {
+		// A global scan over sharded storage is the sorted merge-union of
+		// the per-shard scans — each per-shard scan recurses here and so
+		// keeps its own base+delta merge and block decoding. byDst follows
+		// inversion: inverted per-shard scans emit in target order, and
+		// the merge must compare in emitted order to preserve it.
+		if sh.NumShards() == 1 {
+			return newSegmentScan(sh.Shard(0), segment, inverted)
+		}
+		kids := make([]Operator, sh.NumShards())
+		for i := range kids {
+			kids[i] = newSegmentScan(sh.Shard(i), segment, inverted)
+		}
+		return NewKWayMergeUnion(kids, inverted)
+	}
 	p := segment
 	if inverted {
 		p = segment.Inverse()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -116,6 +117,8 @@ type execBenchRecord struct {
 
 type execBenchFile struct {
 	Description string             `json:"description"`
+	CPUs        int                `json:"cpus"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
 	Benchmarks  []execBenchRecord  `json:"benchmarks"`
 	Speedup     map[string]float64 `json:"speedup_batch1024_vs_batch1"`
 }
@@ -134,7 +137,9 @@ func TestRecordBenchExec(t *testing.T) {
 		Description: "exec operator micro-benchmarks: pairs drained per second at each batch size " +
 			"(batch=1 emulates the pre-vectorization tuple-at-a-time interface); " +
 			"2000-node 3-label random graph, k=2 index, see internal/exec/exec_bench_test.go",
-		Speedup: map[string]float64{},
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Speedup:    map[string]float64{},
 	}
 	for _, name := range []string{"index-scan", "merge-join", "hash-join"} {
 		perBatch := map[int]float64{}

@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/histogram"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+)
+
+func buildShardedIndex(t testing.TB, g *graph.Graph, k, shards int) *pathindex.ShardedStorage {
+	t.Helper()
+	s, err := pathindex.BuildSharded(g, k, pathindex.BuildOptions{}, pathindex.NewHashPartitioner(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// pp builds a Pair; vet rejects unkeyed literals of the aliased type.
+func pp(src, dst graph.NodeID) Pair { return Pair{Src: src, Dst: dst} }
+
+func TestKWayMergeUnionOrderAndDedup(t *testing.T) {
+	mk := func(prs ...Pair) Operator { return &sliceOp{pairs: prs} }
+	// Overlapping sorted children: duplicates must collapse at the merge
+	// frontier and the output must stay in (src,dst) order.
+	m := NewKWayMergeUnionSized([]Operator{
+		mk(pp(1, 2), pp(1, 5), pp(3, 3)),
+		mk(pp(1, 2), pp(2, 1), pp(3, 3)),
+		mk(),
+		mk(pp(0, 9)),
+	}, false, 2)
+	got := Run(m)
+	want := []Pair{pp(0, 9), pp(1, 2), pp(1, 5), pp(2, 1), pp(3, 3)}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// byDst compares in (dst,src) order — the emitted order of inverted
+	// scans.
+	m = NewKWayMergeUnionSized([]Operator{
+		mk(pp(5, 1), pp(2, 3)),
+		mk(pp(9, 1), pp(1, 2), pp(0, 4)),
+	}, true, 3)
+	got = Run(m)
+	want = []Pair{pp(5, 1), pp(9, 1), pp(1, 2), pp(2, 3), pp(0, 4)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byDst: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestShardedSegmentScan: scanning a segment over sharded storage must
+// produce exactly the unsharded scan, in the same order, forward and
+// inverted, at every shard count.
+func TestShardedSegmentScan(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 25, 60, 2)
+	ix := buildIndex(t, g, 2)
+	p := pathindex.Path{graph.Fwd(0), graph.Fwd(1)}
+	for _, inverted := range []bool{false, true} {
+		want := Run(newSegmentScan(ix, p, inverted))
+		for _, n := range []int{1, 2, 4, 7} {
+			s := buildShardedIndex(t, g, 2, n)
+			got := Run(newSegmentScan(s, p, inverted))
+			if len(got) != len(want) {
+				t.Fatalf("n=%d inverted=%v: %d pairs, want %d", n, inverted, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d inverted=%v: pair %d = %v, want %v", n, inverted, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGatherMergesAndDedups(t *testing.T) {
+	mk := func(prs ...Pair) Operator { return &sliceOp{pairs: prs} }
+	g := NewGather([]Operator{
+		mk(pp(1, 1), pp(4, 2)),
+		mk(pp(2, 7), pp(4, 2), pp(9, 0)),
+		mk(),
+	}, 2, nil)
+	got := Run(g)
+	want := []Pair{pp(1, 1), pp(2, 7), pp(4, 2), pp(9, 0)}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Exhausted gathers have quiesced themselves; extra calls are no-ops.
+	g.Quiesce()
+	if n := g.NextBatch(make([]Pair, 4)); n != 0 {
+		t.Fatalf("NextBatch after exhaustion = %d", n)
+	}
+}
+
+func TestGatherCancellation(t *testing.T) {
+	// A large synthetic stream per shard; cancel after the first batch
+	// and verify Quiesce returns (senders exit) rather than deadlocking.
+	big := make([]Pair, 10000)
+	for i := range big {
+		big[i] = Pair{Src: graph.NodeID(i), Dst: graph.NodeID(i % 7)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGather([]Operator{&sliceOp{pairs: big}, &sliceOp{pairs: big}}, 64, ctx)
+	buf := make([]Pair, 32)
+	if n := g.NextBatch(buf); n == 0 {
+		t.Fatal("no pairs before cancellation")
+	}
+	cancel()
+	for i := 0; i < 1000; i++ {
+		if g.NextBatch(buf) == 0 {
+			break
+		}
+	}
+	g.Quiesce() // must not hang
+	if n := g.NextBatch(buf); n != 0 {
+		t.Fatalf("NextBatch after cancel+quiesce = %d", n)
+	}
+}
+
+// TestGatherAbandonedQuiesce: a tree abandoned mid-stream (no
+// cancellation, just stopped pulling) must be stoppable via the package
+// Quiesce walker.
+func TestGatherAbandonedQuiesce(t *testing.T) {
+	big := make([]Pair, 10000)
+	for i := range big {
+		big[i] = Pair{Src: graph.NodeID(i), Dst: 1}
+	}
+	g := NewGather([]Operator{&sliceOp{pairs: big}}, 64, nil)
+	if n := g.NextBatch(make([]Pair, 8)); n == 0 {
+		t.Fatal("no pairs")
+	}
+	union := NewUnionDistinctSized([]Operator{g}, 16)
+	Quiesce(union) // walks to the Gather; must not hang
+	// Stats are now stable.
+	if g.Rows() == 0 {
+		t.Fatal("gather reported no rows")
+	}
+}
+
+func TestShardIdentityScanAndFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomGraph(r, 30, 40, 1)
+	s := buildShardedIndex(t, g, 1, 3)
+	seen := map[Pair]bool{}
+	for shard := 0; shard < 3; shard++ {
+		for _, pr := range Run(NewShardIdentityScan(g, s, shard)) {
+			if pr.Src != pr.Dst {
+				t.Fatalf("non-identity pair %v", pr)
+			}
+			if s.ShardOf(pr.Src) != shard {
+				t.Fatalf("shard %d emitted node %d owned by %d", shard, pr.Src, s.ShardOf(pr.Src))
+			}
+			if seen[pr] {
+				t.Fatalf("node %d emitted twice", pr.Src)
+			}
+			seen[pr] = true
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Fatalf("identity scans covered %d nodes, want %d", len(seen), g.NumNodes())
+	}
+
+	// ShardFilter keeps exactly the shard's sources, preserving order.
+	p := pathindex.Path{graph.Fwd(0)}
+	full := Run(newSegmentScan(buildIndex(t, g, 1), p, false))
+	var joined []Pair
+	for shard := 0; shard < 3; shard++ {
+		f := NewShardFilter(&sliceOp{pairs: full}, s, shard)
+		part := Run(f)
+		for i := 1; i < len(part); i++ {
+			if !pairLess(part[i-1], part[i], false) {
+				t.Fatalf("filter broke order at %d", i)
+			}
+		}
+		for _, pr := range part {
+			if s.ShardOf(pr.Src) != shard {
+				t.Fatalf("filter for shard %d passed %v", shard, pr)
+			}
+		}
+		joined = append(joined, part...)
+	}
+	if len(joined) != len(full) {
+		t.Fatalf("filters covered %d pairs, want %d", len(joined), len(full))
+	}
+}
+
+// TestScatterPlansMatchUnsharded is the exec-level differential test:
+// every strategy's scattered plan over sharded storage produces exactly
+// the unsharded result.
+func TestScatterPlansMatchUnsharded(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomGraph(r, 25, 70, 3)
+	k := 2
+	ix := buildIndex(t, g, k)
+	h := histogram.BuildExact(ix)
+
+	disjuncts := []pathindex.Path{
+		{graph.Fwd(0), graph.Inv(1), graph.Fwd(2)},
+		{graph.Inv(0), graph.Fwd(1)},
+		{graph.Fwd(2)},
+	}
+	for _, n := range []int{1, 2, 4, 7} {
+		s := buildShardedIndex(t, g, k, n)
+		for _, strat := range plan.Strategies() {
+			base := &plan.Planner{K: k, Hist: h, NumNodes: g.NumNodes()}
+			p0, err := base.PlanPaths(disjuncts, true, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			op0, err := Build(p0, ix, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := asSet(Run(op0))
+
+			sharded := &plan.Planner{K: k, Hist: h, NumNodes: g.NumNodes(), Shards: n}
+			p1, err := sharded.PlanPaths(disjuncts, true, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n > 1 {
+				if _, ok := p1.Disjuncts[0].(*plan.Scatter); !ok {
+					t.Fatalf("n=%d: disjunct not wrapped in Scatter", n)
+				}
+			}
+			op1, err := Build(p1, s, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := asSet(Run(op1))
+			if !setsEqual(got, want) {
+				t.Errorf("n=%d %v: %d pairs, want %d", n, strat, len(got), len(want))
+			}
+			// Scattered plans also run correctly over unsharded storage
+			// (the Scatter is transparent).
+			op2, err := Build(p1, ix, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !setsEqual(asSet(Run(op2)), want) {
+				t.Errorf("n=%d %v: scattered plan over unsharded storage diverged", n, strat)
+			}
+		}
+	}
+}
+
+// TestScatterExplainShape: the plan renders its scatter/gather shape.
+func TestScatterExplainShape(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomGraph(r, 15, 30, 2)
+	ix := buildIndex(t, g, 2)
+	h := histogram.BuildExact(ix)
+	pl := &plan.Planner{K: 2, Hist: h, NumNodes: g.NumNodes(), Shards: 4}
+	p, err := pl.PlanPaths([]pathindex.Path{{graph.Fwd(0), graph.Fwd(1)}}, false, plan.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Format(g)
+	if !containsStr(out, "scatter ×4") || !containsStr(out, "gather merge-union") {
+		t.Fatalf("EXPLAIN missing scatter/gather shape:\n%s", out)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -511,6 +511,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"index":      s.db.IndexStats(),
 		"update":     s.db.UpdateStats(),
 		"durability": s.db.DurabilityStats(),
+		"shards":     s.db.ShardStats(),
 		"http": HTTPStats{
 			Requests:     s.requests.Load(),
 			Rejected:     s.rejected.Load(),

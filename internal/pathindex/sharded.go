@@ -1,0 +1,613 @@
+// This file implements source-partitioned sharding of the path index:
+// a Partitioner assigns every source node to one of N shards, and a
+// ShardedStorage owns N per-shard Storage values — each holding exactly
+// the sub-runs of every label-path relation whose packed src falls in
+// the shard — behind the ordinary Storage/Pinner interfaces.
+//
+// The invariant that makes this work is the same one behind SrcRange:
+// relations are sorted by (src, dst), so restricting a run to a set of
+// sources yields a sub-run that is still sorted and still disjoint from
+// every other shard's sub-run. Per-source lookups (SrcRange, ScanFrom,
+// Contains, EvalFrom's frontier expansion) route to the single owning
+// shard; whole-relation reads merge the per-shard runs back together,
+// which the executor does with a k-way ordered merge-union instead of
+// materializing.
+//
+// Sharding is an execution-layout choice, not a semantic one: a
+// ShardedStorage answers every Storage query identically to the
+// unsharded index it was split from. Updates preserve the partitioning —
+// a Delta is split by the same partitioner and layered per shard as
+// ordinary Overlays — so the shard assignment of a node never changes
+// for the lifetime of a database.
+
+package pathindex
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Partitioner assigns source nodes to shards. Implementations must be
+// deterministic pure functions of the node id, stable across processes
+// and hosts: the assignment is baked into the on-disk layout and must
+// hold for nodes that did not exist when the index was built (graph
+// updates add nodes).
+type Partitioner interface {
+	// NumShards returns the shard count N (≥ 1).
+	NumShards() int
+	// ShardOf returns the owning shard of src, in [0, NumShards()).
+	ShardOf(src graph.NodeID) int
+}
+
+// HashPartitioner assigns sources by a stable multiplicative hash of the
+// node id — uniform regardless of id layout, at the cost of turning
+// whole-relation reads into N-way interleaved merges.
+type HashPartitioner struct{ n int }
+
+// NewHashPartitioner returns a hash partitioner over n shards.
+func NewHashPartitioner(n int) HashPartitioner {
+	if n < 1 {
+		n = 1
+	}
+	return HashPartitioner{n: n}
+}
+
+// NumShards returns the shard count.
+func (h HashPartitioner) NumShards() int { return h.n }
+
+// ShardOf hashes src with Knuth's multiplicative constant. Pure integer
+// arithmetic: the same id maps to the same shard on every host.
+func (h HashPartitioner) ShardOf(src graph.NodeID) int {
+	return int(uint64(src) * 2654435761 % uint64(h.n))
+}
+
+// RangePartitioner assigns sources by contiguous id range: shard i owns
+// ids [i*span, (i+1)*span). Per-shard runs stay contiguous slices of the
+// unsharded runs, so range-sharded scans touch shards one after another
+// instead of interleaving. Ids at or beyond n*span — nodes added by
+// updates after the build — clamp to the last shard.
+type RangePartitioner struct{ n, span int }
+
+// NewRangePartitioner returns a range partitioner splitting numNodes ids
+// evenly over n shards.
+func NewRangePartitioner(n, numNodes int) RangePartitioner {
+	if n < 1 {
+		n = 1
+	}
+	span := (numNodes + n - 1) / n
+	if span < 1 {
+		span = 1
+	}
+	return RangePartitioner{n: n, span: span}
+}
+
+// NumShards returns the shard count.
+func (r RangePartitioner) NumShards() int { return r.n }
+
+// Span returns the per-shard id range width (for the on-disk manifest).
+func (r RangePartitioner) Span() int { return r.span }
+
+// ShardOf returns src's range shard, clamping post-build ids to the
+// last shard.
+func (r RangePartitioner) ShardOf(src graph.NodeID) int {
+	s := int(src) / r.span
+	if s >= r.n {
+		s = r.n - 1
+	}
+	return s
+}
+
+// ShardedStorage serves N per-shard Storage values as one Storage. The
+// directory (paths, ids, counts) is aggregated over the parts; per-path
+// counts sum exactly because shard runs are disjoint by construction.
+//
+// Like every Storage it is immutable after construction and safe for
+// concurrent readers; Pin/Unpin/Close fan out to every part that
+// manages a lifetime.
+type ShardedStorage struct {
+	parts []Storage
+	part  Partitioner
+	g     *graph.Graph
+	k     int
+
+	paths  []Path
+	ids    map[string]uint32
+	counts []int
+	stats  BuildStats
+}
+
+// BuildSharded builds I_{G,k} partitioned by part: the full index is
+// built once (the derived-inverse optimization needs the unpartitioned
+// relations), then split into per-shard indexes concurrently, one
+// goroutine per shard.
+func BuildSharded(g *graph.Graph, k int, opts BuildOptions, part Partitioner) (*ShardedStorage, error) {
+	full, err := Build(g, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ShardIndex(full, part)
+}
+
+// ShardIndex splits a built index into per-shard heap indexes under
+// part. The input index is not modified; its runs are copied into the
+// shards so the original can be released.
+func ShardIndex(full *Index, part Partitioner) (*ShardedStorage, error) {
+	n := part.NumShards()
+	if n < 1 {
+		return nil, fmt.Errorf("pathindex: shard count must be >= 1, got %d", n)
+	}
+	start := time.Now()
+	parts := make([]Storage, n)
+	var wg sync.WaitGroup
+	for shard := 0; shard < n; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			ix := &Index{
+				g:         full.g,
+				k:         full.k,
+				paths:     full.paths, // shared: immutable after build
+				ids:       full.ids,   // shared: immutable after build
+				relations: make([][]Packed, len(full.relations)),
+				count:     make([]int, len(full.relations)),
+			}
+			entries, nonEmpty := 0, 0
+			for id, rel := range full.relations {
+				sub := filterShard(rel, part, shard)
+				ix.relations[id] = sub
+				ix.count[id] = len(sub)
+				entries += len(sub)
+				if len(sub) > 0 {
+					nonEmpty++
+				}
+			}
+			ix.stats = BuildStats{Entries: entries, LabelPaths: nonEmpty}
+			parts[shard] = ix
+		}(shard)
+	}
+	wg.Wait()
+	s := &ShardedStorage{parts: parts, part: part, g: full.g, k: full.k}
+	s.rebuildDirectory()
+	// The split is exact, so the full build's global statistics carry
+	// over; only the wall clock grows by the split itself.
+	s.stats.PathsKCount = full.stats.PathsKCount
+	s.stats.DerivedPaths = full.stats.DerivedPaths
+	s.stats.ComposedPairs = full.stats.ComposedPairs
+	s.stats.Duration = full.stats.Duration + time.Since(start)
+	return s, nil
+}
+
+// filterShard returns the elements of the sorted run rel owned by shard.
+// The result is freshly allocated (never aliases rel).
+func filterShard(rel []Packed, part Partitioner, shard int) []Packed {
+	var out []Packed
+	for i := 0; i < len(rel); {
+		// Runs are src-major: handle one source's span at a time.
+		src := rel[i].Src()
+		j := i + 1
+		for j < len(rel) && rel[j].Src() == src {
+			j++
+		}
+		if part.ShardOf(src) == shard {
+			out = append(out, rel[i:j]...)
+		}
+		i = j
+	}
+	return out
+}
+
+// NewSharded assembles a ShardedStorage from already-opened per-shard
+// parts (the open-from-disk path). Parts must share the graph and k and
+// hold src-disjoint runs under part's assignment.
+func NewSharded(parts []Storage, part Partitioner) (*ShardedStorage, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("pathindex: sharded storage needs at least one part")
+	}
+	if part.NumShards() != len(parts) {
+		return nil, fmt.Errorf("pathindex: partitioner has %d shards but %d parts were given", part.NumShards(), len(parts))
+	}
+	k := parts[0].K()
+	for i, p := range parts {
+		if p.K() != k {
+			return nil, fmt.Errorf("pathindex: shard %d has k=%d, shard 0 has k=%d", i, p.K(), k)
+		}
+	}
+	s := &ShardedStorage{parts: parts, part: part, g: parts[0].Graph(), k: k}
+	s.rebuildDirectory()
+	return s, nil
+}
+
+// rebuildDirectory aggregates the per-part directories: the union of
+// paths with summed counts. Shard runs are disjoint, so the sums are
+// exact.
+func (s *ShardedStorage) rebuildDirectory() {
+	s.paths, s.counts = nil, nil
+	s.ids = map[string]uint32{}
+	entries, nonEmpty := 0, 0
+	for _, part := range s.parts {
+		part.AllPaths(func(_ uint32, p Path, count int) {
+			id, ok := s.ids[p.Key()]
+			if !ok {
+				id = uint32(len(s.paths))
+				s.paths = append(s.paths, slices.Clone(p))
+				s.ids[s.paths[id].Key()] = id
+				s.counts = append(s.counts, 0)
+			}
+			s.counts[id] += count
+		})
+	}
+	for _, c := range s.counts {
+		entries += c
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	s.stats = BuildStats{Entries: entries, LabelPaths: nonEmpty}
+}
+
+// NumShards returns the shard count.
+func (s *ShardedStorage) NumShards() int { return len(s.parts) }
+
+// Shard returns shard i's Storage.
+func (s *ShardedStorage) Shard(i int) Storage { return s.parts[i] }
+
+// ShardOf returns the shard owning source src.
+func (s *ShardedStorage) ShardOf(src graph.NodeID) int { return s.part.ShardOf(src) }
+
+// Partitioner returns the partitioning function.
+func (s *ShardedStorage) Partitioner() Partitioner { return s.part }
+
+// K returns the locality parameter.
+func (s *ShardedStorage) K() int { return s.k }
+
+// Graph returns the indexed graph.
+func (s *ShardedStorage) Graph() *graph.Graph { return s.g }
+
+// Stats returns aggregated build statistics.
+func (s *ShardedStorage) Stats() BuildStats { return s.stats }
+
+// NumEntries returns the total entry count over all shards.
+func (s *ShardedStorage) NumEntries() int { return s.stats.Entries }
+
+// NumLabelPaths returns the number of label paths with non-empty
+// relations in at least one shard.
+func (s *ShardedStorage) NumLabelPaths() int { return s.stats.LabelPaths }
+
+// PathsKCount returns |paths_k(G)| (aggregated at build/update time).
+func (s *ShardedStorage) PathsKCount() int { return s.stats.PathsKCount }
+
+// PathID resolves p in the aggregated directory.
+func (s *ShardedStorage) PathID(p Path) (uint32, bool) {
+	id, ok := s.ids[p.Key()]
+	return id, ok
+}
+
+// PathByID returns the path with the given aggregated id.
+func (s *ShardedStorage) PathByID(id uint32) Path { return s.paths[id] }
+
+// Count returns |p(G)| summed over shards.
+func (s *ShardedStorage) Count(p Path) int {
+	if id, ok := s.ids[p.Key()]; ok {
+		return s.counts[id]
+	}
+	return 0
+}
+
+// CountByID returns the count for an aggregated path id.
+func (s *ShardedStorage) CountByID(id uint32) int { return s.counts[id] }
+
+// AllPaths visits the aggregated directory in id order.
+func (s *ShardedStorage) AllPaths(fn func(id uint32, p Path, count int)) {
+	for id, p := range s.paths {
+		fn(uint32(id), p, s.counts[id])
+	}
+}
+
+// Relation materializes p's full relation by k-way merging the shard
+// runs. Executor scans avoid this through per-shard iterators; Relation
+// exists for the rare whole-relation consumers (compaction, tests).
+func (s *ShardedStorage) Relation(p Path) []Packed {
+	runs := make([][]Packed, 0, len(s.parts))
+	for _, part := range s.parts {
+		if r := part.Relation(p); len(r) > 0 {
+			runs = append(runs, r)
+		}
+	}
+	return kwayMergeRuns(runs)
+}
+
+// kwayMergeRuns merges sorted, pairwise-disjoint runs into one sorted
+// run. Zero-copy when at most one run is non-empty.
+func kwayMergeRuns(runs [][]Packed) []Packed {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Packed, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= len(r) {
+				continue
+			}
+			if best < 0 || r[heads[i]] < runs[best][heads[best]] {
+				best = i
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// Blocks returns a block iterator over p's merged relation.
+func (s *ShardedStorage) Blocks(p Path) *BlockIterator {
+	return s.BlocksSized(p, DefaultBlockSize)
+}
+
+// BlocksSized returns a block iterator over p's merged relation with the
+// given block size. The merge materializes; the executor uses
+// ShardBlocks plus its k-way merge-union scan instead.
+func (s *ShardedStorage) BlocksSized(p Path, blockSize int) *BlockIterator {
+	return &BlockIterator{rel: s.Relation(p), size: blockSize}
+}
+
+// ShardBlocks returns one block iterator per shard over p, in shard
+// order — the zero-materialization scan surface for the executor's
+// k-way merge.
+func (s *ShardedStorage) ShardBlocks(p Path) []*BlockIterator {
+	out := make([]*BlockIterator, len(s.parts))
+	for i, part := range s.parts {
+		out[i] = part.Blocks(p)
+	}
+	return out
+}
+
+// SrcRange routes to the shard owning src.
+func (s *ShardedStorage) SrcRange(p Path, src graph.NodeID) []Packed {
+	return s.parts[s.part.ShardOf(src)].SrcRange(p, src)
+}
+
+// Scan iterates p's merged relation.
+func (s *ShardedStorage) Scan(p Path) *PairIterator {
+	return &PairIterator{rel: s.Relation(p)}
+}
+
+// ScanFrom routes to the shard owning src.
+func (s *ShardedStorage) ScanFrom(p Path, src graph.NodeID) *PairIterator {
+	return s.parts[s.part.ShardOf(src)].ScanFrom(p, src)
+}
+
+// Contains routes to the shard owning src.
+func (s *ShardedStorage) Contains(p Path, src, dst graph.NodeID) bool {
+	return s.parts[s.part.ShardOf(src)].Contains(p, src, dst)
+}
+
+// Pin acquires a reader pin on every part that manages one. On failure
+// the already-pinned prefix is released, so a Pin error leaves no pins
+// held.
+func (s *ShardedStorage) Pin() error {
+	for i, p := range s.parts {
+		pn, ok := p.(Pinner)
+		if !ok {
+			continue
+		}
+		if err := pn.Pin(); err != nil {
+			s.unpinPrefix(i)
+			return err
+		}
+	}
+	return nil
+}
+
+// Unpin releases the pins taken by a successful Pin.
+func (s *ShardedStorage) Unpin() { s.unpinPrefix(len(s.parts)) }
+
+func (s *ShardedStorage) unpinPrefix(n int) {
+	for _, p := range s.parts[:n] {
+		if pn, ok := p.(Pinner); ok {
+			pn.Unpin()
+		}
+	}
+}
+
+// Close closes every part that holds resources, waiting for each part's
+// readers to drain (per-part pin gates). The first error is returned;
+// remaining parts are still closed.
+func (s *ShardedStorage) Close() error {
+	var first error
+	for _, p := range s.parts {
+		if c, ok := p.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// baseDeltaSplit is implemented by parts that distinguish base from
+// overlay payload (Overlay, Levels).
+type baseDeltaSplit interface {
+	BaseEntries() int
+	DeltaEntries() int
+}
+
+// BaseEntries sums the per-part base payloads.
+func (s *ShardedStorage) BaseEntries() int {
+	total := 0
+	for _, p := range s.parts {
+		if bd, ok := p.(baseDeltaSplit); ok {
+			total += bd.BaseEntries()
+		} else {
+			total += p.NumEntries()
+		}
+	}
+	return total
+}
+
+// DeltaEntries sums the per-part overlay payloads.
+func (s *ShardedStorage) DeltaEntries() int {
+	total := 0
+	for _, p := range s.parts {
+		if bd, ok := p.(baseDeltaSplit); ok {
+			total += bd.DeltaEntries()
+		}
+	}
+	return total
+}
+
+// DeltaRatio returns the aggregated delta share — the auto-compaction
+// trigger, same contract as Overlay.DeltaRatio.
+func (s *ShardedStorage) DeltaRatio() float64 {
+	base, delta := s.BaseEntries(), s.DeltaEntries()
+	if delta == 0 {
+		return 0
+	}
+	if base == 0 {
+		return 1
+	}
+	return float64(delta) / float64(base+delta)
+}
+
+// decodeStatsPart mirrors the optional DecodeStats surface of
+// compressed parts.
+type decodeStatsPart interface{ DecodeStats() (blocks, bytes int64) }
+
+// DecodeStats sums the per-part block-decode counters.
+func (s *ShardedStorage) DecodeStats() (blocks, bytes int64) {
+	for _, p := range s.parts {
+		if ds, ok := p.(decodeStatsPart); ok {
+			b, by := ds.DecodeStats()
+			blocks += b
+			bytes += by
+		}
+	}
+	return blocks, bytes
+}
+
+// fileBytesPart mirrors the optional FileBytes surface of file-backed
+// parts.
+type fileBytesPart interface{ FileBytes() int }
+
+// FileBytes sums the per-part on-disk footprints.
+func (s *ShardedStorage) FileBytes() int {
+	total := 0
+	for _, p := range s.parts {
+		if fb, ok := p.(fileBytesPart); ok {
+			total += fb.FileBytes()
+		}
+	}
+	return total
+}
+
+// ApplyDelta layers one update delta over the sharded storage: the
+// delta's runs are split by the partitioner and each shard gets its own
+// Overlay (every shard is wrapped — even with an empty slice of the
+// delta — so all parts advance to the successor graph together; stacked
+// overlays flatten per shard, keeping reads at two runs per path). The
+// receiver is not modified.
+func (s *ShardedStorage) ApplyDelta(d *Delta) (*ShardedStorage, error) {
+	n := len(s.parts)
+	shardDeltas := make([]*Delta, n)
+	for i := range shardDeltas {
+		shardDeltas[i] = &Delta{
+			g:   d.g,
+			k:   d.k,
+			ids: map[string]uint32{},
+			stats: DeltaStats{
+				NewEdges: d.stats.NewEdges,
+				Duration: d.stats.Duration,
+			},
+		}
+	}
+	bufs := make([][]Packed, n)
+	for id, p := range d.paths {
+		for i := range bufs {
+			bufs[i] = bufs[i][:0]
+		}
+		for _, pk := range d.rels[id] {
+			sh := s.part.ShardOf(pk.Src())
+			bufs[sh] = append(bufs[sh], pk)
+		}
+		for i, b := range bufs {
+			shardDeltas[i].add(p, slices.Clone(b))
+		}
+	}
+	parts := make([]Storage, n)
+	for i := range parts {
+		ov, err := NewOverlay(s.parts[i], shardDeltas[i])
+		if err != nil {
+			return nil, fmt.Errorf("pathindex: shard %d overlay: %w", i, err)
+		}
+		parts[i] = ov
+	}
+	ns := &ShardedStorage{parts: parts, part: s.part, g: d.Graph(), k: s.k}
+	ns.rebuildDirectory()
+	ns.stats.PathsKCount = overlayPathsK(s, d)
+	ns.stats.Duration = s.stats.Duration + d.Stats().Duration
+	return ns, nil
+}
+
+// Compact folds every shard's overlay stack into a fresh immutable heap
+// index, concurrently (one goroutine per shard). Parts without overlay
+// payload are kept as-is. The receiver is not modified.
+func (s *ShardedStorage) Compact() (*ShardedStorage, error) {
+	parts := make([]Storage, len(s.parts))
+	var wg sync.WaitGroup
+	for i, p := range s.parts {
+		if m, ok := p.(interface{ Materialize() *Index }); ok {
+			wg.Add(1)
+			go func(i int, m interface{ Materialize() *Index }) {
+				defer wg.Done()
+				parts[i] = m.Materialize()
+			}(i, m)
+		} else {
+			parts[i] = p
+		}
+	}
+	wg.Wait()
+	ns := &ShardedStorage{parts: parts, part: s.part, g: s.g, k: s.k}
+	ns.rebuildDirectory()
+	ns.stats.PathsKCount = s.stats.PathsKCount
+	ns.stats.Duration = s.stats.Duration
+	return ns, nil
+}
+
+// Materialize merges all shards back into one unsharded heap index —
+// the inverse of ShardIndex, used for checkpoints and migrations.
+func (s *ShardedStorage) Materialize() *Index {
+	ix := &Index{g: s.g, k: s.k, ids: map[string]uint32{}}
+	entries := 0
+	for id, p := range s.paths {
+		rel := slices.Clone(s.Relation(p))
+		ix.paths = append(ix.paths, slices.Clone(p))
+		ix.ids[p.Key()] = uint32(id)
+		ix.relations = append(ix.relations, rel)
+		ix.count = append(ix.count, len(rel))
+		entries += len(rel)
+	}
+	ix.stats = BuildStats{
+		Entries:     entries,
+		LabelPaths:  s.stats.LabelPaths,
+		PathsKCount: s.stats.PathsKCount,
+		Duration:    s.stats.Duration,
+	}
+	return ix
+}
+
+var _ Storage = (*ShardedStorage)(nil)
+var _ Pinner = (*ShardedStorage)(nil)
+var _ io.Closer = (*ShardedStorage)(nil)

@@ -1,0 +1,182 @@
+// On-disk layout for sharded indexes: a directory holding one ordinary
+// v3 index file per shard plus a small SHARDS.json manifest describing
+// the partitioning. Shard files are complete, self-contained index
+// files — each opens through the normal OpenStorage path (mmap v2,
+// block-decoded v3) — so every existing tool that reads one index file
+// reads one shard unchanged. The manifest is written last: a crash
+// mid-save leaves either the previous manifest or none, never a
+// manifest pointing at missing shards.
+
+package pathindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// ShardManifestName is the manifest file inside a sharded index
+// directory.
+const ShardManifestName = "SHARDS.json"
+
+// shardManifestVersion guards manifest decoding.
+const shardManifestVersion = 1
+
+// shardManifest is the JSON layout descriptor of a sharded index
+// directory.
+type shardManifest struct {
+	Version     int      `json:"version"`
+	K           int      `json:"k"`
+	Shards      int      `json:"shards"`
+	Partitioner string   `json:"partitioner"` // "hash" or "range"
+	RangeSpan   int      `json:"range_span,omitempty"`
+	PathsKCount int      `json:"paths_k_count"`
+	Files       []string `json:"files"`
+}
+
+// partitionerManifest encodes part into manifest fields.
+func partitionerManifest(part Partitioner) (kind string, span int, err error) {
+	switch p := part.(type) {
+	case HashPartitioner:
+		return "hash", 0, nil
+	case RangePartitioner:
+		return "range", p.Span(), nil
+	default:
+		return "", 0, fmt.Errorf("pathindex: partitioner %T has no on-disk encoding", part)
+	}
+}
+
+// manifestPartitioner decodes a manifest's partitioner fields.
+func manifestPartitioner(m *shardManifest) (Partitioner, error) {
+	switch m.Partitioner {
+	case "hash":
+		return NewHashPartitioner(m.Shards), nil
+	case "range":
+		if m.RangeSpan < 1 {
+			return nil, fmt.Errorf("pathindex: range manifest has span %d", m.RangeSpan)
+		}
+		return RangePartitioner{n: m.Shards, span: m.RangeSpan}, nil
+	default:
+		return nil, fmt.Errorf("pathindex: unknown partitioner %q in manifest", m.Partitioner)
+	}
+}
+
+// IsShardedPath reports whether path is a sharded index directory (a
+// directory containing a shard manifest).
+func IsShardedPath(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ShardManifestName))
+	return err == nil
+}
+
+// shardFileName names shard i's index file.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.pix", i) }
+
+// SaveSharded writes the sharded index as a directory: one v3 file per
+// shard, then the manifest. Overlay shards are materialized for the
+// write; the in-memory storage is unchanged.
+func (s *ShardedStorage) SaveSharded(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	kind, span, err := partitionerManifest(s.part)
+	if err != nil {
+		return err
+	}
+	m := shardManifest{
+		Version:     shardManifestVersion,
+		K:           s.k,
+		Shards:      len(s.parts),
+		Partitioner: kind,
+		RangeSpan:   span,
+		PathsKCount: s.stats.PathsKCount,
+	}
+	type v3Saver interface{ SaveV3(string) error }
+	for i, p := range s.parts {
+		name := shardFileName(i)
+		sv, ok := p.(v3Saver)
+		if !ok {
+			return fmt.Errorf("pathindex: shard %d (%T) cannot be saved as v3", i, p)
+		}
+		if err := sv.SaveV3(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("pathindex: save shard %d: %w", i, err)
+		}
+		m.Files = append(m.Files, name)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	// Manifest last, atomically: readers see the old layout or the new
+	// one, never a partial directory.
+	tmp := filepath.Join(dir, ShardManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, ShardManifestName))
+}
+
+// OpenSharded opens a sharded index directory written by SaveSharded.
+// Each shard file opens through OpenStorage (so shards decode blocks
+// lazily and pin/close individually); the partitioner and the global
+// |paths_k| come from the manifest.
+func OpenSharded(dir string, g *graph.Graph) (*ShardedStorage, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ShardManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m shardManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("pathindex: shard manifest: %w", err)
+	}
+	if m.Version != shardManifestVersion {
+		return nil, fmt.Errorf("pathindex: shard manifest version %d not supported", m.Version)
+	}
+	if m.Shards != len(m.Files) || m.Shards < 1 {
+		return nil, fmt.Errorf("pathindex: shard manifest lists %d files for %d shards", len(m.Files), m.Shards)
+	}
+	part, err := manifestPartitioner(&m)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]Storage, 0, m.Shards)
+	closeAll := func() {
+		for _, p := range parts {
+			if c, ok := p.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+	}
+	for i, name := range m.Files {
+		p, err := OpenStorage(filepath.Join(dir, name), g)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("pathindex: open shard %d: %w", i, err)
+		}
+		parts = append(parts, p)
+	}
+	s, err := NewSharded(parts, part)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	s.stats.PathsKCount = m.PathsKCount
+	return s, nil
+}
+
+// Save writes the merged (unsharded) index in format v1 — sharding is a
+// layout choice, so the single-file savers fold the shards back
+// together. Use SaveSharded to keep the layout.
+func (s *ShardedStorage) Save(path string) error { return s.Materialize().Save(path) }
+
+// SaveV2 writes the merged index in format v2.
+func (s *ShardedStorage) SaveV2(path string) error { return s.Materialize().SaveV2(path) }
+
+// SaveV3 writes the merged index in format v3.
+func (s *ShardedStorage) SaveV3(path string) error { return s.Materialize().SaveV3(path) }

@@ -1,0 +1,308 @@
+package pathindex
+
+import (
+	"math/rand"
+	"path/filepath"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testPartitioners(n, numNodes int) []Partitioner {
+	return []Partitioner{NewHashPartitioner(n), NewRangePartitioner(n, numNodes)}
+}
+
+func TestPartitionerContract(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		for _, part := range testPartitioners(n, 100) {
+			if part.NumShards() != n {
+				t.Fatalf("%T: NumShards = %d, want %d", part, part.NumShards(), n)
+			}
+			hit := make([]bool, n)
+			for src := graph.NodeID(0); src < 500; src++ {
+				s := part.ShardOf(src)
+				if s < 0 || s >= n {
+					t.Fatalf("%T: ShardOf(%d) = %d out of [0,%d)", part, src, s, n)
+				}
+				if s != part.ShardOf(src) {
+					t.Fatalf("%T: ShardOf(%d) not deterministic", part, src)
+				}
+				hit[s] = true
+			}
+			for s, ok := range hit {
+				if !ok && n <= 7 {
+					t.Errorf("%T n=%d: shard %d owns no source in [0,500)", part, n, s)
+				}
+			}
+		}
+	}
+	// Range partitioner clamps post-build ids to the last shard.
+	rp := NewRangePartitioner(4, 100)
+	if got := rp.ShardOf(10_000); got != 3 {
+		t.Fatalf("range ShardOf(10000) = %d, want clamp to 3", got)
+	}
+}
+
+func TestBuildShardedMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	_, full, _ := extendRandom(r, 40, 120, []string{"a", "b", "c"}, 0)
+	for _, k := range []int{1, 2} {
+		oracle, err := Build(full, k, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 4, 7} {
+			for _, part := range testPartitioners(n, full.NumNodes()) {
+				s, err := BuildSharded(full, k, BuildOptions{}, part)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkStorageEqual(t, s, oracle)
+				if s.PathsKCount() != oracle.PathsKCount() {
+					t.Errorf("k=%d n=%d %T: PathsKCount = %d, oracle %d", k, n, part, s.PathsKCount(), oracle.PathsKCount())
+				}
+				if s.NumShards() != n {
+					t.Fatalf("NumShards = %d, want %d", s.NumShards(), n)
+				}
+				// Each shard holds only pairs it owns, and the shard
+				// runs reassemble exactly.
+				oracle.AllPaths(func(_ uint32, p Path, _ int) {
+					var runs [][]Packed
+					for i := 0; i < n; i++ {
+						run := s.Shard(i).Relation(p)
+						for _, pr := range run {
+							if part.ShardOf(pr.Src()) != i {
+								t.Fatalf("shard %d holds %v owned by shard %d", i, pr, part.ShardOf(pr.Src()))
+							}
+						}
+						if len(run) > 0 {
+							runs = append(runs, run)
+						}
+					}
+					if !slices.Equal(kwayMergeRuns(runs), oracle.Relation(p)) {
+						t.Fatalf("k=%d n=%d: shard runs of %v do not reassemble", k, n, p)
+					}
+				})
+				// ShardBlocks exposes one iterator per shard in order.
+				p0 := oracle.PathByID(0)
+				bis := s.ShardBlocks(p0)
+				if len(bis) != n {
+					t.Fatalf("ShardBlocks: %d iterators, want %d", len(bis), n)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedSaveOpenRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	_, full, _ := extendRandom(r, 30, 90, []string{"a", "b"}, 0)
+	oracle, err := Build(full, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range testPartitioners(3, full.NumNodes()) {
+		s, err := BuildSharded(full, 2, BuildOptions{}, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "sharded.pixd")
+		if err := s.SaveSharded(dir); err != nil {
+			t.Fatal(err)
+		}
+		if !IsShardedPath(dir) {
+			t.Fatalf("IsShardedPath(%s) = false after SaveSharded", dir)
+		}
+		if IsShardedPath(filepath.Dir(dir)) {
+			t.Fatal("IsShardedPath true for a directory without a manifest")
+		}
+		got, err := OpenSharded(dir, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStorageEqual(t, got, oracle)
+		if got.PathsKCount() != oracle.PathsKCount() {
+			t.Errorf("PathsKCount = %d, oracle %d", got.PathsKCount(), oracle.PathsKCount())
+		}
+		if got.NumShards() != 3 {
+			t.Fatalf("NumShards = %d after reopen", got.NumShards())
+		}
+		if got.FileBytes() == 0 {
+			t.Error("FileBytes = 0 for file-backed shards")
+		}
+		// Same partitioner kind round-trips.
+		if _, ok := part.(RangePartitioner); ok {
+			if _, ok := got.Partitioner().(RangePartitioner); !ok {
+				t.Fatalf("partitioner came back as %T", got.Partitioner())
+			}
+		}
+		if err := got.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedPinDrain is the close-under-query test: Pin must fail with
+// ErrClosed after Close, a held pin must block Close until released, and
+// a failed Pin must leave no pins behind (unwinding the already-pinned
+// prefix).
+func TestShardedPinDrain(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	_, full, _ := extendRandom(r, 20, 60, []string{"a"}, 0)
+	build := func() *ShardedStorage {
+		s, err := BuildSharded(full, 2, BuildOptions{}, NewHashPartitioner(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "pixd")
+		if err := s.SaveSharded(dir); err != nil {
+			t.Fatal(err)
+		}
+		got, err := OpenSharded(dir, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	// Close drains an active reader before unmapping.
+	s := build()
+	if err := s.Pin(); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a pin was held", err)
+	default:
+	}
+	p0 := s.PathByID(0)
+	if len(s.Relation(p0)) == 0 {
+		t.Fatal("pinned read returned nothing")
+	}
+	s.Unpin()
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(); err != ErrClosed {
+		t.Fatalf("Pin after Close = %v, want ErrClosed", err)
+	}
+
+	// A failed Pin leaves no pins held: close one shard out from under
+	// the storage, then Pin must fail and every still-open shard must be
+	// closable without blocking (no leaked pin).
+	s = build()
+	if c, ok := s.Shard(1).(interface{ Close() error }); ok {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Pin(); err != ErrClosed {
+		t.Fatalf("Pin with a closed shard = %v, want ErrClosed", err)
+	}
+	done := make(chan error)
+	go func() { done <- s.Close() }()
+	if err := <-done; err != nil {
+		t.Fatalf("Close after failed Pin blocked or errored: %v", err)
+	}
+}
+
+func TestShardedApplyDeltaMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		base, full, batch := extendRandom(r, 30, 80, []string{"a", "b"}, 0.1)
+		for _, n := range []int{1, 2, 4} {
+			s, err := BuildSharded(base, 2, BuildOptions{}, NewHashPartitioner(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := base.ExtendFrozen(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := BuildDelta(s, g2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, err := s.ApplyDelta(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := Build(full, 2, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkStorageEqual(t, next, oracle)
+			if next.Graph() != g2 {
+				t.Fatal("ApplyDelta did not advance the graph on every shard")
+			}
+			for i := 0; i < next.NumShards(); i++ {
+				if next.Shard(i).Graph() != g2 {
+					t.Fatalf("shard %d still serves the old graph", i)
+				}
+			}
+			if next.DeltaEntries() != d.NumEntries() {
+				t.Errorf("DeltaEntries = %d, delta has %d", next.DeltaEntries(), d.NumEntries())
+			}
+			// Stacking a second (empty) delta must flatten, not pile up.
+			d2, err := BuildDelta(next, g2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := next.ApplyDelta(d2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < again.NumShards(); i++ {
+				ov, ok := again.Shard(i).(*Overlay)
+				if !ok {
+					t.Fatalf("shard %d is %T, want *Overlay", i, again.Shard(i))
+				}
+				if _, nested := ov.Base().(*Overlay); nested {
+					t.Fatalf("shard %d overlay did not flatten", i)
+				}
+			}
+			// Compact folds every shard back to a heap index with the
+			// same answers.
+			compacted, err := next.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkStorageEqual(t, compacted, oracle)
+			if compacted.DeltaEntries() != 0 {
+				t.Errorf("DeltaEntries = %d after Compact", compacted.DeltaEntries())
+			}
+			// And the sharded storage merges back into one index.
+			checkStorageEqual(t, next.Materialize(), oracle)
+		}
+	}
+}
+
+// TestShardedConcurrentReaders exercises concurrent scans over distinct
+// shards under -race.
+func TestShardedConcurrentReaders(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	_, full, _ := extendRandom(r, 30, 100, []string{"a", "b"}, 0)
+	s, err := BuildSharded(full, 2, BuildOptions{}, NewHashPartitioner(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(s.Relation(s.PathByID(0)))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got := len(s.Relation(s.PathByID(0))); got != want {
+					t.Errorf("concurrent Relation: %d pairs, want %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

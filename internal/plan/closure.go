@@ -159,6 +159,7 @@ func (pl *Planner) PlanQuery(disjuncts []pathindex.Path, closures []Seq, hasEpsi
 		}
 		p.Disjuncts = append(p.Disjuncts, node)
 	}
+	pl.scatterDisjuncts(p)
 	return p, nil
 }
 

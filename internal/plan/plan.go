@@ -178,6 +178,9 @@ type Planner struct {
 	// marked Streamed and evaluated by per-source BFS with bounded memory
 	// instead of the pair-materializing fixpoint.
 	StreamClosures bool
+	// Shards, when > 1, targets source-partitioned storage: every
+	// disjunct is wrapped in a Scatter node for per-shard evaluation.
+	Shards int
 }
 
 // Cost-model constants: a hash join pays hashBuildFactor per build-side
@@ -203,6 +206,7 @@ func (pl *Planner) PlanPaths(disjuncts []pathindex.Path, hasEpsilon bool, strate
 		}
 		p.Disjuncts = append(p.Disjuncts, node)
 	}
+	pl.scatterDisjuncts(p)
 	return p, nil
 }
 
@@ -482,6 +486,10 @@ func (pl *Planner) cloneTree(n Node) Node {
 	case *Reach:
 		c := *v
 		return &c
+	case *Scatter:
+		c := *v
+		c.Child = pl.cloneTree(v.Child)
+		return &c
 	default:
 		return n
 	}
@@ -551,6 +559,13 @@ func formatNode(b *strings.Builder, n Node, g *graph.Graph, prefix, indent strin
 		}
 		fmt.Fprintf(b, "%sreach-scan (%s)* [reachability index] (est %.1f)\n",
 			prefix, strings.Join(parts, "|"), v.Card())
+	case *Scatter:
+		shape := "src-partitioned"
+		if v.Broadcast {
+			shape = "broadcast + src-filter"
+		}
+		fmt.Fprintf(b, "%sscatter ×%d [%s] → gather merge-union\n", prefix, v.Shards, shape)
+		formatNode(b, v.Child, g, indent+"└─ ", indent+"   ")
 	default:
 		fmt.Fprintf(b, "%s<unknown node %T>\n", prefix, n)
 	}

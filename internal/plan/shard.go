@@ -1,0 +1,67 @@
+// Scatter planning for source-partitioned (sharded) storage. Every
+// answer pair's shard is determined by its source node, so a disjunct
+// whose head — the operator position that determines output sources —
+// can be restricted to one shard evaluates shard-locally; the per-shard
+// streams are disjoint and gather through a sorted merge. Heads that are
+// physically ordered by the other endpoint (inverted scans) or have no
+// source structure at all (reach-scans) instead broadcast a global
+// evaluation and filter each shard's sources out of it.
+
+package plan
+
+// Scatter marks a disjunct for scatter-gather evaluation: the executor
+// builds Child once per shard, restricted to that shard's sources, and
+// merges the per-shard streams. Cost and cardinality are the child's —
+// scattering redistributes work without changing the result, so strategy
+// choice is unaffected by sharding.
+type Scatter struct {
+	Child Node
+	// Shards is the fan-out recorded at plan time (for EXPLAIN; the
+	// executor re-derives it from the storage it is given).
+	Shards int
+	// Broadcast reports that the head is not source-partitionable: each
+	// shard evaluates the child globally and filters to its own sources,
+	// rather than reading only its shard's data.
+	Broadcast bool
+}
+
+func (s *Scatter) Card() float64 { return s.Child.Card() }
+func (s *Scatter) Cost() float64 { return s.Child.Cost() }
+
+// headPartitionable reports whether n's head position can be restricted
+// to one shard's sources: a forward scan reads its shard's sub-run, a
+// join inherits its left (source-side) input's head, a closure inherits
+// its input's head (the ε input restricts to the shard's identity
+// pairs). Inverted scans are physically ordered by target and
+// reach-scans have no per-source runs — those broadcast.
+func headPartitionable(n Node) bool {
+	switch v := n.(type) {
+	case *Scan:
+		return !v.Inverted
+	case *Join:
+		return headPartitionable(v.Left)
+	case *Closure:
+		if v.Input == nil {
+			return true
+		}
+		return headPartitionable(v.Input)
+	default:
+		return false
+	}
+}
+
+// scatterDisjuncts wraps each disjunct in a Scatter when the planner
+// targets sharded storage. Idempotent: already-wrapped disjuncts are
+// left alone, so PlanQuery can re-apply after appending closure
+// disjuncts to a PlanPaths result.
+func (pl *Planner) scatterDisjuncts(p *Plan) {
+	if pl.Shards <= 1 {
+		return
+	}
+	for i, d := range p.Disjuncts {
+		if _, ok := d.(*Scatter); ok {
+			continue
+		}
+		p.Disjuncts[i] = &Scatter{Child: d, Shards: pl.Shards, Broadcast: !headPartitionable(d)}
+	}
+}

@@ -129,6 +129,13 @@ type Options struct {
 	// value disables automatic compaction (Compact can still be called
 	// explicitly).
 	CompactRatio float64
+	// Shards, when > 1, partitions the index by source node into that
+	// many in-process shards: Build constructs one index partition per
+	// shard (concurrently), queries scatter across the shards and gather
+	// through a sorted merge, and SaveShardedIndex/Open round-trip the
+	// layout as a directory of per-shard v3 files plus a manifest. 0 or 1
+	// keeps the single-index layout.
+	Shards int
 }
 
 // DefaultCompactRatio is the automatic-compaction trigger: once delta
@@ -356,6 +363,19 @@ type indexSaver interface {
 	SaveV3(path string) error
 }
 
+// SaveShardedIndex persists a sharded index as a directory: one v3 file
+// per shard plus a manifest describing the partitioning. Open
+// auto-detects the layout and restores the same shard structure. The DB
+// must have been built with Options.Shards > 1 (or opened from a sharded
+// layout); use SaveIndexV3 to fold a sharded index into one file.
+func (db *DB) SaveShardedIndex(dir string) error {
+	ss, ok := db.eng().Storage().(*pathindex.ShardedStorage)
+	if !ok {
+		return fmt.Errorf("pathdb: index is not sharded; build with Options.Shards > 1")
+	}
+	return ss.SaveSharded(dir)
+}
+
 // Open restores a ready-to-serve database from a graph edge-list file
 // and an index file in format v2 or v3 (written by SaveIndexV2,
 // SaveIndexV3, or the `rpq build` command) without rebuilding anything:
@@ -379,7 +399,14 @@ func OpenWith(graphPath, indexPath string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pathdb: loading graph: %w", err)
 	}
-	ix, err := pathindex.OpenStorage(indexPath, g)
+	var ix pathindex.Storage
+	if pathindex.IsShardedPath(indexPath) {
+		// A sharded layout (directory + manifest): open every per-shard
+		// file and serve scatter-gather over them.
+		ix, err = pathindex.OpenSharded(indexPath, g)
+	} else {
+		ix, err = pathindex.OpenStorage(indexPath, g)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -631,6 +658,44 @@ func (db *DB) UpdateStats() UpdateStats {
 		st.BaseEntries = s.BaseEntries()
 		st.DeltaEntries = s.DeltaEntries()
 		st.DeltaRatio = s.DeltaRatio()
+	case *pathindex.ShardedStorage:
+		st.BaseEntries = s.BaseEntries()
+		st.DeltaEntries = s.DeltaEntries()
+		st.DeltaRatio = s.DeltaRatio()
+	}
+	return st
+}
+
+// ShardStats describes the DB's shard layout; Shards is 0 for an
+// unsharded database.
+type ShardStats struct {
+	// Shards is the number of in-process index partitions.
+	Shards int `json:"shards"`
+	// Partitioner names the source→shard assignment ("hash" or "range").
+	Partitioner string `json:"partitioner,omitempty"`
+	// EntriesPerShard is each shard's ⟨path, src, dst⟩ entry count, in
+	// shard order — the balance evidence for the partitioning function.
+	EntriesPerShard []int `json:"entries_per_shard,omitempty"`
+}
+
+// ShardStats returns a snapshot of the shard layout of the current
+// engine snapshot.
+func (db *DB) ShardStats() ShardStats {
+	ss, ok := db.eng().Storage().(*pathindex.ShardedStorage)
+	if !ok {
+		return ShardStats{}
+	}
+	st := ShardStats{Shards: ss.NumShards()}
+	switch ss.Partitioner().(type) {
+	case pathindex.HashPartitioner:
+		st.Partitioner = "hash"
+	case pathindex.RangePartitioner:
+		st.Partitioner = "range"
+	default:
+		st.Partitioner = fmt.Sprintf("%T", ss.Partitioner())
+	}
+	for i := 0; i < ss.NumShards(); i++ {
+		st.EntriesPerShard = append(st.EntriesPerShard, ss.Shard(i).NumEntries())
 	}
 	return st
 }

@@ -1,0 +1,234 @@
+package pathdb_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	pathdb "repro"
+)
+
+// buildDurableShardedT is buildDurableT with a sharded engine: the WAL
+// and recovery machinery are identical, only the index layout changes.
+func buildDurableShardedT(t *testing.T, seed int64, dir string, shards int, d pathdb.DurabilityOptions) *pathdb.DB {
+	t.Helper()
+	d.Dir = dir
+	d.NoSync = true
+	db, err := pathdb.BuildDurable(durableBase(seed), pathdb.Options{K: 2, CompactRatio: -1, Shards: shards}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestShardedBuildOpenRoundTrip: Build with Options.Shards partitions
+// the index, SaveShardedIndex persists the directory layout, and Open
+// auto-detects it — with answers identical to the unsharded build under
+// every strategy.
+func TestShardedBuildOpenRoundTrip(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	g, err := pathdb.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := pathdb.Build(g, pathdb.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g2, err := pathdb.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := pathdb.Build(g2, pathdb.Options{K: 2, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sharded.ShardStats()
+	if st.Shards != 3 || st.Partitioner != "hash" || len(st.EntriesPerShard) != 3 {
+		t.Fatalf("ShardStats after sharded build: %+v", st)
+	}
+	total := 0
+	for _, n := range st.EntriesPerShard {
+		total += n
+	}
+	if total != sharded.IndexStats().Entries {
+		t.Fatalf("per-shard entries sum to %d, index reports %d", total, sharded.IndexStats().Entries)
+	}
+
+	// The unsharded DB refuses the sharded save path and reports no shards.
+	if err := plain.SaveShardedIndex(filepath.Join(t.TempDir(), "x.pixd")); err == nil {
+		t.Fatal("SaveShardedIndex on an unsharded DB succeeded")
+	}
+	if ps := plain.ShardStats(); ps.Shards != 0 {
+		t.Fatalf("unsharded DB reports shards: %+v", ps)
+	}
+
+	dir := filepath.Join(t.TempDir(), "index.pixd")
+	if err := sharded.SaveShardedIndex(dir); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "SHARDS.json")); err != nil || fi.IsDir() {
+		t.Fatalf("sharded layout has no manifest: %v", err)
+	}
+	opened, err := pathdb.Open(graphPath, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if got := opened.ShardStats(); got.Shards != 3 || got.Partitioner != "hash" {
+		t.Fatalf("ShardStats after sharded open: %+v", got)
+	}
+
+	queries := []string{
+		"knows/worksFor", "knows{1,3}", "likes|worksFor^-", "knows*",
+		"(knows/likes)?", "worksFor^-/knows",
+	}
+	for _, q := range queries {
+		for _, s := range pathdb.Strategies() {
+			want, err := plain.QueryWith(q, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, db := range map[string]*pathdb.DB{"built": sharded, "opened": opened} {
+				got, err := db.QueryWith(q, s)
+				if err != nil {
+					t.Fatalf("%s sharded eval of %q: %v", name, q, err)
+				}
+				if !slices.Equal(sortedNames(got.Names), sortedNames(want.Names)) {
+					t.Fatalf("%s sharded result for %q under %v differs from unsharded", name, q, s)
+				}
+			}
+		}
+		wantFrom, err := plain.QueryFrom(q, "ada")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFrom, err := opened.QueryFrom(q, "ada")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(gotFrom, wantFrom) {
+			t.Fatalf("sharded QueryFrom for %q differs from unsharded", q)
+		}
+	}
+
+	// EXPLAIN over the opened sharded DB surfaces the scatter shape.
+	srv := opened.Serve(pathdb.ServeOptions{})
+	text, err := srv.ExplainWith("knows/worksFor", pathdb.Strategies()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsAll(text, "scatter", "gather") {
+		t.Fatalf("sharded EXPLAIN lacks the scatter/gather shape:\n%s", text)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedDurableRecoverRoundTrip: the WAL round trip of
+// TestDurableRecoverRoundTrip with a sharded engine — replayed batches
+// are routed to the owning shards and the recovered DB keeps its shard
+// layout.
+func TestShardedDurableRecoverRoundTrip(t *testing.T) {
+	const seed = 31
+	dir := t.TempDir()
+	batches := durableBatches(seed, 4, 25)
+	db := buildDurableShardedT(t, seed, dir, 3, pathdb.DurabilityOptions{SpillEntries: -1})
+	for _, b := range batches {
+		if err := db.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle := prefixOracle(t, seed, batches, len(batches))
+	checkAllStrategies(t, db, oracle, "sharded before close")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := buildDurableShardedT(t, seed, dir, 3, pathdb.DurabilityOptions{SpillEntries: -1})
+	defer db2.Close()
+	if st := db2.ShardStats(); st.Shards != 3 {
+		t.Fatalf("recovered DB lost its shard layout: %+v", st)
+	}
+	st := db2.DurabilityStats()
+	if !st.Enabled || st.RecoveredBatches != int64(len(batches)) {
+		t.Fatalf("DurabilityStats after sharded recovery: %+v", st)
+	}
+	// Sharded lineages never spill — recovery is pure batch replay.
+	if st.RecoveredSpills != 0 || st.Spills != 0 {
+		t.Fatalf("sharded durability wrote spills: %+v", st)
+	}
+	checkAllStrategies(t, db2, oracle, "sharded after recovery")
+
+	// Compaction folds the per-shard overlays and keeps serving correctly.
+	if err := db2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if us := db2.UpdateStats(); us.DeltaEntries != 0 {
+		t.Fatalf("%d delta entries survive a sharded Compact", us.DeltaEntries)
+	}
+	checkAllStrategies(t, db2, oracle, "sharded after compact")
+	if err := db2.ApplyBatch([]pathdb.LabeledEdge{{Src: "p00", Label: "knows", Dst: "p33"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedDurableTornTailSweep is the crash-window differential with
+// Shards > 1: every WAL truncation point must recover a clean batch
+// prefix whose answers match an unsharded from-scratch rebuild.
+func TestShardedDurableTornTailSweep(t *testing.T) {
+	const seed = 32
+	srcDir := t.TempDir()
+	batches := durableBatches(seed, 3, 12)
+	db := buildDurableShardedT(t, seed, srcDir, 3, pathdb.DurabilityOptions{SpillEntries: -1})
+	for _, b := range batches {
+		if err := db.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(srcDir, pathdb.WALFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracles := make([]*pathdb.DB, len(batches)+1)
+	for n := range oracles {
+		oracles[n] = prefixOracle(t, seed, batches, n)
+	}
+
+	for cut := 8; cut <= len(full); cut += 13 {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, pathdb.WALFileName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db2 := buildDurableShardedT(t, seed, dir, 3, pathdb.DurabilityOptions{SpillEntries: -1})
+		n := db2.DurabilityStats().RecoveredBatches
+		if n < 0 || n > int64(len(batches)) {
+			t.Fatalf("cut=%d: recovered %d batches", cut, n)
+		}
+		if st := db2.ShardStats(); st.Shards != 3 {
+			t.Fatalf("cut=%d: recovered DB lost its shard layout: %+v", cut, st)
+		}
+		checkAllStrategies(t, db2, oracles[n], fmt.Sprintf("sharded cut=%d (prefix %d)", cut, n))
+		db2.Close()
+	}
+}
